@@ -1,0 +1,793 @@
+//! The TDM allocation flow: paths + slots for every connection.
+//!
+//! This plays the role of the Æthereal design-time resource-allocation
+//! tools the paper reuses (\[16\] in the paper). For every connection it
+//! chooses a source route and a set of TDM injection slots such that:
+//!
+//! * **contention freedom** — on every link of the path, the slot shifted
+//!   by the link's position is exclusively reserved (no two flits ever
+//!   arrive at the same link in the same slot, Section III);
+//! * **bandwidth** — enough slots are reserved to carry the contracted
+//!   throughput under the conservative one-header-word-per-flit payload
+//!   model;
+//! * **latency** — the worst-case wait-plus-serialisation window plus the
+//!   path's pipeline delay meets the connection's latency requirement,
+//!   adding extra slots beyond the bandwidth minimum when needed (the
+//!   paper: reservations "do not have to correspond to the worst-case
+//!   requirements if this is not needed").
+
+use crate::path::{route_candidates, Path};
+use crate::table::{worst_window, SlotTable};
+use aelite_spec::app::SystemSpec;
+use aelite_spec::ids::{ConnId, LinkId};
+use core::fmt;
+
+/// The resources granted to one connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grant {
+    /// The connection this grant belongs to.
+    pub conn: ConnId,
+    /// The source route.
+    pub path: Path,
+    /// Injection slots at the source NI, strictly ascending.
+    pub inject_slots: Vec<u32>,
+    /// The links of [`path`](Self::path) in traversal order; link *i* is
+    /// used in slot `inject + i * slots_per_hop` (modulo the table size),
+    /// where `slots_per_hop` accounts for mesochronous pipeline stages.
+    pub links: Vec<LinkId>,
+}
+
+/// A complete, contention-free resource allocation for a system.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    table_size: u32,
+    link_tables: Vec<SlotTable>,
+    grants: Vec<Option<Grant>>,
+}
+
+impl Allocation {
+    pub(crate) fn empty(spec: &SystemSpec) -> Self {
+        Allocation {
+            table_size: spec.config().slot_table_size,
+            link_tables: (0..spec.topology().link_count())
+                .map(|_| SlotTable::new(spec.config().slot_table_size))
+                .collect(),
+            grants: vec![None; spec.conn_id_bound()],
+        }
+    }
+
+    /// The NoC-wide slot-table size.
+    #[must_use]
+    pub fn table_size(&self) -> u32 {
+        self.table_size
+    }
+
+    /// Releases the grant of `conn`, freeing its slots; `false` if it
+    /// held none. Used by the reconfiguration flow.
+    pub(crate) fn release_grant(&mut self, conn: aelite_spec::ids::ConnId) -> bool {
+        let Some(grant) = self
+            .grants
+            .get_mut(conn.index())
+            .and_then(Option::take)
+        else {
+            return false;
+        };
+        for &l in &grant.links {
+            self.link_tables[l.index()].release_all(conn);
+        }
+        true
+    }
+
+    /// Grows the per-connection grant storage to cover `spec`'s ids
+    /// (reconfiguration may introduce connections with larger ids).
+    pub(crate) fn grow_for(&mut self, spec: &SystemSpec) {
+        if self.grants.len() < spec.conn_id_bound() {
+            self.grants.resize(spec.conn_id_bound(), None);
+        }
+    }
+
+    /// The grant of `conn`, if it was allocated.
+    #[must_use]
+    pub fn grant(&self, conn: ConnId) -> Option<&Grant> {
+        self.grants.get(conn.index()).and_then(Option::as_ref)
+    }
+
+    /// All grants in connection order.
+    pub fn grants(&self) -> impl Iterator<Item = &Grant> + '_ {
+        self.grants.iter().filter_map(Option::as_ref)
+    }
+
+    /// The reservation table of `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    #[must_use]
+    pub fn link_table(&self, link: LinkId) -> &SlotTable {
+        &self.link_tables[link.index()]
+    }
+
+    /// Mean slot utilisation over all links that carry any traffic.
+    #[must_use]
+    pub fn mean_loaded_utilisation(&self) -> f64 {
+        let loaded: Vec<f64> = self
+            .link_tables
+            .iter()
+            .filter(|t| t.reserved_count() > 0)
+            .map(SlotTable::utilisation)
+            .collect();
+        if loaded.is_empty() {
+            0.0
+        } else {
+            loaded.iter().sum::<f64>() / loaded.len() as f64
+        }
+    }
+
+    /// The highest slot utilisation over all links.
+    #[must_use]
+    pub fn peak_utilisation(&self) -> f64 {
+        self.link_tables
+            .iter()
+            .map(SlotTable::utilisation)
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst-case **per-flit** latency of `conn` in clock cycles:
+    /// `3 * max_gap + 3 * (routers + 1)`.
+    ///
+    /// The connection's latency contract is interpreted per flit, matching
+    /// the paper's Section VII, which reports distributions of *flit*
+    /// latencies. A flit that becomes ready just after an injection slot
+    /// waits at most one maximum inter-slot gap, then rides the
+    /// contention-free pipeline: 3 cycles per router plus 3 for the NI
+    /// ingress link. Message-level (multi-flit) bounds are provided by
+    /// [`worst_case_message_latency_cycles`](Self::worst_case_message_latency_cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` has no grant.
+    #[must_use]
+    pub fn worst_case_latency_cycles(&self, spec: &SystemSpec, conn: ConnId) -> u64 {
+        self.window_latency_cycles(spec, conn, 1)
+    }
+
+    /// Worst-case latency for a whole `message_bytes` message of `conn`
+    /// (wait for the worst window of consecutive slots plus the pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` has no grant.
+    #[must_use]
+    pub fn worst_case_message_latency_cycles(&self, spec: &SystemSpec, conn: ConnId) -> u64 {
+        let m = flits_per_message(spec, spec.connection(conn).message_bytes);
+        self.window_latency_cycles(spec, conn, m)
+    }
+
+    fn window_latency_cycles(&self, spec: &SystemSpec, conn: ConnId, m: u32) -> u64 {
+        let grant = self.grant(conn).expect("connection has no grant");
+        let cfg = spec.config();
+        let window = worst_window(&grant.inject_slots, self.table_size, m);
+        let pipeline = pipeline_cycles(cfg, grant.path.link_count());
+        u64::from(window) * u64::from(cfg.slot_cycles()) + pipeline
+    }
+
+    /// Worst-case per-flit latency of `conn` in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` has no grant.
+    #[must_use]
+    pub fn worst_case_latency_ns(&self, spec: &SystemSpec, conn: ConnId) -> f64 {
+        self.worst_case_latency_cycles(spec, conn) as f64 * spec.config().cycle_ns()
+    }
+
+    /// The payload bandwidth guaranteed by the slots of `conn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` has no grant.
+    #[must_use]
+    pub fn allocated_bandwidth(&self, spec: &SystemSpec, conn: ConnId) -> aelite_spec::Bandwidth {
+        let grant = self.grant(conn).expect("connection has no grant");
+        let per_slot = spec.config().slot_payload_bandwidth().bytes_per_sec();
+        aelite_spec::Bandwidth::from_bytes_per_sec(per_slot * grant.inject_slots.len() as u64)
+    }
+}
+
+/// Estimates the slots a connection's grant will need: the larger of its
+/// bandwidth minimum and the count its per-flit deadline forces, assuming
+/// the shortest route.
+#[must_use]
+pub fn estimate_slots(spec: &SystemSpec, conn: ConnId) -> u32 {
+    let cfg = spec.config();
+    let c = spec.connection(conn);
+    let topo = spec.topology();
+    let (src_ni, dst_ni) = (spec.ip_ni(c.src), spec.ip_ni(c.dst));
+    let (ra, rb) = (topo.ni_router(src_ni), topo.ni_router(dst_ni));
+    let hops = match (topo.coords(ra), topo.coords(rb)) {
+        (Some((xa, ya)), Some((xb, yb))) => xa.abs_diff(xb) + ya.abs_diff(yb),
+        _ => u32::from(ra != rb),
+    };
+    let pipeline = pipeline_cycles(cfg, hops as usize + 2);
+    let budget = (c.max_latency_ns as f64 / cfg.cycle_ns()).floor() as u64;
+    let wait = budget.saturating_sub(pipeline);
+    let gap = (wait / u64::from(cfg.slot_cycles())).max(1) as u32;
+    let lat_slots = cfg.slot_table_size.div_ceil(gap);
+    cfg.slots_for(c.bandwidth).max(lat_slots).max(1)
+}
+
+/// The contention-free pipeline delay, in cycles, of a path with
+/// `n_links` links: each link plus its pipeline stages costs one slot of
+/// `flit_words` cycles (paper Sections IV–V).
+#[must_use]
+pub fn pipeline_cycles(cfg: &aelite_spec::NocConfig, n_links: usize) -> u64 {
+    n_links as u64 * u64::from(cfg.slots_per_hop()) * u64::from(cfg.flit_words)
+}
+
+/// The number of flits a message of `bytes` occupies under the
+/// conservative one-header-word-per-flit model.
+#[must_use]
+pub fn flits_per_message(spec: &SystemSpec, bytes: u32) -> u32 {
+    let payload =
+        spec.config().payload_words_per_flit() * spec.config().data_width_bytes();
+    bytes.div_ceil(payload).max(1)
+}
+
+/// Why allocation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// No route exists between the connection's NIs.
+    NoRoute {
+        /// The unroutable connection.
+        conn: ConnId,
+    },
+    /// No candidate path had enough free (shift-consistent) slots.
+    InsufficientSlots {
+        /// The starved connection.
+        conn: ConnId,
+        /// Slots required for the bandwidth contract.
+        needed: u32,
+        /// Best number of free slots found on any candidate path.
+        best_available: u32,
+    },
+    /// Slots were available but no selection met the latency requirement.
+    LatencyUnmet {
+        /// The connection whose deadline cannot be met.
+        conn: ConnId,
+        /// The requirement, in nanoseconds.
+        required_ns: u64,
+        /// The best achievable worst-case latency, in nanoseconds.
+        best_ns: u64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::NoRoute { conn } => write!(f, "no route for {conn}"),
+            AllocError::InsufficientSlots {
+                conn,
+                needed,
+                best_available,
+            } => write!(
+                f,
+                "{conn} needs {needed} slots but at most {best_available} are free on any path"
+            ),
+            AllocError::LatencyUnmet {
+                conn,
+                required_ns,
+                best_ns,
+            } => write!(
+                f,
+                "{conn} requires {required_ns} ns but the best achievable bound is {best_ns} ns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Configuration of the allocation heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocator {
+    /// Maximum number of candidate paths tried per connection.
+    pub max_paths: usize,
+    /// Whether extra slots may be added beyond the bandwidth minimum to
+    /// meet latency requirements.
+    pub latency_aware: bool,
+    /// Phase salts tried in turn: each failed pass is retried from scratch
+    /// with the next salt, changing how slot phases are staggered across
+    /// connections (a cheap deterministic rip-up-and-retry).
+    pub phase_salts: &'static [u32],
+}
+
+impl Allocator {
+    /// The default heuristic: up to 12 candidate paths, latency-aware,
+    /// with four phase-salt retries.
+    #[must_use]
+    pub fn new() -> Self {
+        Allocator {
+            max_paths: 12,
+            latency_aware: true,
+            phase_salts: &[13, 7, 29, 47],
+        }
+    }
+
+    /// Allocates every connection of `spec`.
+    ///
+    /// Connections are served hardest-first (most slots needed, then
+    /// tightest latency), each greedily choosing the candidate path and
+    /// evenly-spread slot set that satisfies its contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AllocError`] encountered; the paper's position
+    /// is that an unallocatable use case is a design-time failure, so no
+    /// partial allocation is returned.
+    pub fn allocate(&self, spec: &SystemSpec) -> Result<Allocation, AllocError> {
+        let salts: &[u32] = if self.phase_salts.is_empty() {
+            &[13]
+        } else {
+            self.phase_salts
+        };
+        let mut last_err = None;
+        for &salt in salts {
+            match self.allocate_pass(spec, salt) {
+                Ok(a) => return Ok(a),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one pass attempted"))
+    }
+
+    fn allocate_pass(&self, spec: &SystemSpec, salt: u32) -> Result<Allocation, AllocError> {
+        let mut alloc = Allocation::empty(spec);
+        let _cfg = spec.config();
+
+        // Hardest connections first: the difficulty estimate is the slot
+        // count the grant will end up with — the bandwidth minimum or, for
+        // tight deadlines, the count forced by the required injection gap
+        // (estimated over the shortest route's pipeline delay).
+        let mut order: Vec<ConnId> = spec.connections().iter().map(|c| c.id).collect();
+        order.sort_by_key(|&id| {
+            let c = spec.connection(id);
+            let est = estimate_slots(spec, id);
+            (core::cmp::Reverse(est), c.max_latency_ns, id)
+        });
+
+        for conn in order {
+            self.allocate_one(spec, &mut alloc, conn, salt)?;
+        }
+        Ok(alloc)
+    }
+
+    pub(crate) fn allocate_one(
+        &self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        conn: ConnId,
+        salt: u32,
+    ) -> Result<(), AllocError> {
+        let cfg = spec.config();
+        let c = spec.connection(conn);
+        let src_ni = spec.ip_ni(c.src);
+        let dst_ni = spec.ip_ni(c.dst);
+        let needed = cfg.slots_for(c.bandwidth).max(1);
+        let size = alloc.table_size;
+        // The latency contract is per flit (see worst_case_latency_cycles).
+        let m = 1;
+
+        let candidates = route_candidates(spec.topology(), src_ni, dst_ni, self.max_paths);
+        if candidates.is_empty() {
+            return Err(AllocError::NoRoute { conn });
+        }
+
+        let mut best_available = 0u32;
+        let mut best_latency_cycles = u64::MAX;
+        let latency_budget_cycles = (c.max_latency_ns as f64 / cfg.cycle_ns()).floor() as u64;
+
+        for path in candidates {
+            let links = path
+                .links(spec.topology())
+                .expect("route_candidates returns valid paths");
+            // Injection slots whose shifted positions are free on every link.
+            let shift = cfg.slots_per_hop();
+            let free: Vec<u32> = (0..size)
+                .filter(|&s| {
+                    links
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &l)| alloc.link_tables[l.index()].is_free(s + i as u32 * shift))
+                })
+                .collect();
+            best_available = best_available.max(free.len() as u32);
+            if (free.len() as u32) < needed {
+                continue;
+            }
+
+            let pipeline = pipeline_cycles(cfg, path.link_count());
+            let latency_of = |slots: &[u32]| {
+                u64::from(worst_window(slots, size, m)) * u64::from(cfg.slot_cycles()) + pipeline
+            };
+
+            // The deadline allows an injection gap of at most `allowed_gap`
+            // slots on this path. Cover the table with that gap first (the
+            // latency-critical part), then top up for bandwidth.
+            let wait_cycles = latency_budget_cycles.saturating_sub(pipeline);
+            let allowed_gap = (wait_cycles / u64::from(cfg.slot_cycles())) as u32;
+            if self.latency_aware && allowed_gap == 0 {
+                // Even an immediately-due slot would miss the deadline on
+                // this path; record the hypothetical best and move on.
+                best_latency_cycles = best_latency_cycles.min(latency_of(&free));
+                continue;
+            }
+
+            let mut chosen = if self.latency_aware && allowed_gap < size {
+                match cover_with_gap(&free, allowed_gap, size) {
+                    Some(cover) => cover,
+                    None => {
+                        best_latency_cycles = best_latency_cycles.min(latency_of(&free));
+                        continue;
+                    }
+                }
+            } else {
+                // No latency pressure: stagger the spread per connection so
+                // unrelated connections don't pile onto the same phase.
+                let phase = (conn.index() as u32).wrapping_mul(salt) % size;
+                spread_selection(&free, needed, size, phase)
+            };
+
+            // Top up to the bandwidth minimum, filling the largest gaps.
+            while (chosen.len() as u32) < needed {
+                match best_gap_filler(&chosen, &free, size) {
+                    Some(extra) => {
+                        chosen.push(extra);
+                        chosen.sort_unstable();
+                    }
+                    None => break,
+                }
+            }
+            if (chosen.len() as u32) < needed {
+                continue;
+            }
+
+            let achieved = latency_of(&chosen);
+            best_latency_cycles = best_latency_cycles.min(achieved);
+            if achieved > latency_budget_cycles {
+                continue;
+            }
+
+            // Commit.
+            for &s in &chosen {
+                for (i, &l) in links.iter().enumerate() {
+                    alloc.link_tables[l.index()]
+                        .reserve(s + i as u32 * shift, conn)
+                        .expect("slot was checked free");
+                }
+            }
+            alloc.grants[conn.index()] = Some(Grant {
+                conn,
+                path,
+                inject_slots: chosen,
+                links,
+            });
+            return Ok(());
+        }
+
+        if best_available < needed {
+            Err(AllocError::InsufficientSlots {
+                conn,
+                needed,
+                best_available,
+            })
+        } else {
+            Err(AllocError::LatencyUnmet {
+                conn,
+                required_ns: c.max_latency_ns,
+                best_ns: (best_latency_cycles as f64 * cfg.cycle_ns()).ceil() as u64,
+            })
+        }
+    }
+}
+
+impl Default for Allocator {
+    fn default() -> Self {
+        Allocator::new()
+    }
+}
+
+/// Convenience wrapper: [`Allocator::new`]`.allocate(spec)`.
+///
+/// # Errors
+///
+/// See [`Allocator::allocate`].
+pub fn allocate(spec: &SystemSpec) -> Result<Allocation, AllocError> {
+    Allocator::new().allocate(spec)
+}
+
+/// Picks `needed` slots from `free` (ascending) as close as possible to an
+/// ideal even spread over the table, anchored at `phase`.
+fn spread_selection(free: &[u32], needed: u32, size: u32, phase: u32) -> Vec<u32> {
+    debug_assert!(free.len() >= needed as usize);
+    let mut chosen: Vec<u32> = Vec::with_capacity(needed as usize);
+    for i in 0..needed {
+        let ideal = (phase + (u64::from(i) * u64::from(size) / u64::from(needed)) as u32) % size;
+        // Nearest free slot (circular distance) not yet chosen.
+        let pick = free
+            .iter()
+            .copied()
+            .filter(|s| !chosen.contains(s))
+            .min_by_key(|&s| {
+                let d = s.abs_diff(ideal);
+                d.min(size - d)
+            });
+        if let Some(s) = pick {
+            chosen.push(s);
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Chooses a minimal set of slots from `free` whose circular gaps never
+/// exceed `gap`, or `None` if impossible.
+///
+/// Classic circular greedy cover: from a fixed start, repeatedly jump to
+/// the farthest free slot within `gap`; this is optimal for that start, so
+/// trying every free start finds a cover whenever one exists.
+fn cover_with_gap(free: &[u32], gap: u32, size: u32) -> Option<Vec<u32>> {
+    if free.is_empty() || gap == 0 {
+        return None;
+    }
+    // Forward circular distance from a to b, in 1..=size (b == a -> size).
+    let fwd = |a: u32, b: u32| (b + size - a - 1) % size + 1;
+    'starts: for &start in free {
+        let mut chosen = vec![start];
+        let mut cur = start;
+        loop {
+            // When the forward distance back to the start is within the
+            // allowed gap, the circle is covered.
+            if fwd(cur, start) <= gap {
+                chosen.sort_unstable();
+                return Some(chosen);
+            }
+            // Jump to the farthest free slot within `gap` ahead. Because
+            // the distance back to start still exceeds `gap`, this can
+            // never overshoot the start.
+            let next = free
+                .iter()
+                .copied()
+                .filter(|&f| f != cur && fwd(cur, f) <= gap)
+                .max_by_key(|&f| fwd(cur, f));
+            match next {
+                Some(f) => {
+                    chosen.push(f);
+                    cur = f;
+                }
+                None => continue 'starts,
+            }
+        }
+    }
+    None
+}
+
+/// The free slot that best fills the largest gap of `chosen`, if any
+/// unchosen free slot exists.
+fn best_gap_filler(chosen: &[u32], free: &[u32], size: u32) -> Option<u32> {
+    let g = crate::table::gaps(chosen, size);
+    if g.is_empty() {
+        return free.iter().copied().find(|s| !chosen.contains(s));
+    }
+    // Midpoint of the largest gap.
+    let (start_idx, _) = g
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &gap)| gap)
+        .expect("gaps non-empty");
+    let gap_start = chosen[start_idx];
+    let gap_len = g[start_idx];
+    let target = (gap_start + gap_len / 2) % size;
+    free.iter()
+        .copied()
+        .filter(|s| !chosen.contains(s))
+        .min_by_key(|&s| {
+            let d = s.abs_diff(target);
+            d.min(size - d)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aelite_spec::app::SystemSpecBuilder;
+    use aelite_spec::config::NocConfig;
+    use aelite_spec::ids::NiId;
+    use aelite_spec::topology::Topology;
+    use aelite_spec::traffic::Bandwidth;
+
+    fn two_conn_spec() -> SystemSpec {
+        let topo = Topology::mesh(2, 1, 1);
+        let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+        let app = b.add_app("app");
+        let a = b.add_ip_at(NiId::new(0));
+        let z = b.add_ip_at(NiId::new(1));
+        b.add_connection(app, a, z, Bandwidth::from_mbytes_per_sec(100), 500);
+        b.add_connection(app, z, a, Bandwidth::from_mbytes_per_sec(200), 500);
+        b.build()
+    }
+
+    #[test]
+    fn allocates_simple_spec() {
+        let spec = two_conn_spec();
+        let alloc = allocate(&spec).unwrap();
+        for c in spec.connections() {
+            let grant = alloc.grant(c.id).unwrap();
+            assert!(!grant.inject_slots.is_empty());
+            assert_eq!(grant.links.len(), grant.path.link_count());
+            // Bandwidth satisfied.
+            assert!(
+                alloc.allocated_bandwidth(&spec, c.id).bytes_per_sec()
+                    >= c.bandwidth.bytes_per_sec()
+            );
+            // Latency satisfied.
+            assert!(alloc.worst_case_latency_ns(&spec, c.id) <= c.max_latency_ns as f64);
+        }
+    }
+
+    #[test]
+    fn shifted_slots_are_reserved_on_every_link() {
+        let spec = two_conn_spec();
+        let alloc = allocate(&spec).unwrap();
+        for grant in alloc.grants() {
+            for &s in &grant.inject_slots {
+                for (i, &l) in grant.links.iter().enumerate() {
+                    assert_eq!(
+                        alloc.link_table(l).owner(s + i as u32),
+                        Some(grant.conn),
+                        "link {i} of {} at slot {s}",
+                        grant.conn
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_directions_do_not_conflict() {
+        // Both connections traverse the same router pair in opposite
+        // directions — different links, so tables must be independent.
+        let spec = two_conn_spec();
+        let alloc = allocate(&spec).unwrap();
+        let g0 = alloc.grant(ConnId::new(0)).unwrap();
+        let g1 = alloc.grant(ConnId::new(1)).unwrap();
+        for l0 in &g0.links {
+            assert!(!g1.links.contains(l0));
+        }
+    }
+
+    #[test]
+    fn sharing_a_link_forces_disjoint_slots() {
+        // Two connections from the same NI must share the ingress link.
+        let topo = Topology::mesh(2, 1, 1);
+        let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+        let app = b.add_app("app");
+        let a = b.add_ip_at(NiId::new(0));
+        let z1 = b.add_ip_at(NiId::new(1));
+        let z2 = b.add_ip_at(NiId::new(1));
+        b.add_connection(app, a, z1, Bandwidth::from_mbytes_per_sec(150), 500);
+        b.add_connection(app, a, z2, Bandwidth::from_mbytes_per_sec(150), 500);
+        let spec = b.build();
+        let alloc = allocate(&spec).unwrap();
+        let s0 = alloc.grant(ConnId::new(0)).unwrap().inject_slots.clone();
+        let s1 = alloc.grant(ConnId::new(1)).unwrap().inject_slots.clone();
+        for s in &s0 {
+            assert!(!s1.contains(s), "slot {s} double-booked on shared link");
+        }
+    }
+
+    #[test]
+    fn oversubscription_fails_with_insufficient_slots() {
+        let topo = Topology::mesh(2, 1, 1);
+        let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+        let app = b.add_app("app");
+        let a = b.add_ip_at(NiId::new(0));
+        let z = b.add_ip_at(NiId::new(1));
+        // Link payload capacity is ~1.33 GB/s; ask for 2x that.
+        b.add_connection(app, a, z, Bandwidth::from_mbytes_per_sec(1500), 10_000);
+        b.add_connection(app, a, z, Bandwidth::from_mbytes_per_sec(1500), 10_000);
+        let spec = b.build();
+        match allocate(&spec) {
+            Err(AllocError::InsufficientSlots { .. }) => {}
+            other => panic!("expected InsufficientSlots, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_latency_fails_with_latency_unmet() {
+        let topo = Topology::mesh(4, 3, 1);
+        let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+        let app = b.add_app("app");
+        let a = b.add_ip_at(NiId::new(0));
+        let z = b.add_ip_at(NiId::new(11)); // opposite corner
+        // 1 ns across 7 links is physically impossible.
+        b.add_connection(app, a, z, Bandwidth::from_mbytes_per_sec(10), 1);
+        let spec = b.build();
+        match allocate(&spec) {
+            Err(AllocError::LatencyUnmet { required_ns: 1, .. }) => {}
+            other => panic!("expected LatencyUnmet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_aware_allocation_adds_slots() {
+        let topo = Topology::mesh(2, 1, 1);
+        let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+        let app = b.add_app("app");
+        let a = b.add_ip_at(NiId::new(0));
+        let z = b.add_ip_at(NiId::new(1));
+        // 10 MB/s needs one slot, but a 60 ns deadline needs slots spread
+        // much more tightly than one per 32-slot revolution (192 cycles).
+        b.add_connection(app, a, z, Bandwidth::from_mbytes_per_sec(10), 60);
+        let spec = b.build();
+        let alloc = allocate(&spec).unwrap();
+        let grant = alloc.grant(ConnId::new(0)).unwrap();
+        assert!(
+            grant.inject_slots.len() > 1,
+            "expected extra slots for latency, got {:?}",
+            grant.inject_slots
+        );
+        assert!(alloc.worst_case_latency_ns(&spec, ConnId::new(0)) <= 60.0);
+    }
+
+    #[test]
+    fn paper_workload_allocates_at_500mhz() {
+        let spec = aelite_spec::generate::paper_workload(42);
+        let alloc = allocate(&spec).expect("paper workload must be allocatable");
+        assert_eq!(alloc.grants().count(), 200);
+        for c in spec.connections() {
+            assert!(
+                alloc.allocated_bandwidth(&spec, c.id).bytes_per_sec()
+                    >= c.bandwidth.bytes_per_sec()
+            );
+            assert!(
+                alloc.worst_case_latency_ns(&spec, c.id) <= c.max_latency_ns as f64,
+                "{}: {} > {}",
+                c.id,
+                alloc.worst_case_latency_ns(&spec, c.id),
+                c.max_latency_ns
+            );
+        }
+        assert!(alloc.peak_utilisation() <= 1.0);
+        assert!(alloc.mean_loaded_utilisation() > 0.0);
+    }
+
+    #[test]
+    fn spread_selection_is_even_when_table_free() {
+        let free: Vec<u32> = (0..32).collect();
+        let chosen = spread_selection(&free, 4, 32, 0);
+        assert_eq!(chosen, vec![0, 8, 16, 24]);
+        let staggered = spread_selection(&free, 4, 32, 5);
+        assert_eq!(staggered, vec![5, 13, 21, 29]);
+    }
+
+    #[test]
+    fn flits_per_message_rounds_up() {
+        let spec = two_conn_spec();
+        // Payload per flit = 2 words * 4 bytes = 8 bytes.
+        assert_eq!(flits_per_message(&spec, 1), 1);
+        assert_eq!(flits_per_message(&spec, 8), 1);
+        assert_eq!(flits_per_message(&spec, 9), 2);
+        assert_eq!(flits_per_message(&spec, 64), 8);
+    }
+
+    #[test]
+    fn alloc_error_display() {
+        let e = AllocError::InsufficientSlots {
+            conn: ConnId::new(3),
+            needed: 5,
+            best_available: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("c3") && s.contains('5') && s.contains('2'), "{s}");
+    }
+}

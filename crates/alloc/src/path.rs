@@ -1,0 +1,524 @@
+//! Source-route paths through the NoC.
+//!
+//! aelite uses source routing (paper Section III): the packet header
+//! carries the output-port index for every router along the way. A
+//! [`Path`] is exactly that port list plus its NI endpoints.
+//!
+//! [`route_candidates`] enumerates minimal-hop paths for the allocator:
+//! dimension-ordered XY and YX routes first (cheap, deadlock-free on
+//! meshes and — irrelevantly but pleasantly — contention-friendly), then
+//! all remaining shortest paths discovered by BFS, capped to keep
+//! allocation time bounded.
+
+use aelite_spec::ids::{LinkId, NiId, Port, RouterId};
+use aelite_spec::topology::{PortTarget, Topology};
+use core::fmt;
+use std::collections::VecDeque;
+
+/// A source-routed path from one NI to another.
+///
+/// `ports[i]` is the output port taken at the *i*-th router; the last port
+/// faces the destination NI. The links traversed are the NI ingress link
+/// followed by one link per port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    /// Source network interface.
+    pub src: NiId,
+    /// Destination network interface.
+    pub dst: NiId,
+    /// Output port taken at each router along the way.
+    pub ports: Vec<Port>,
+}
+
+impl Path {
+    /// The number of routers traversed.
+    #[must_use]
+    pub fn router_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// The number of links traversed (NI ingress + one per router).
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.ports.len() + 1
+    }
+
+    /// The ordered links this path occupies, starting with the source NI's
+    /// ingress link. A flit injected in TDM slot *s* occupies
+    /// `links(topo)[i]` during slot *s + i*.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PathError`] if the port sequence does not lead from
+    /// `src` to `dst` in this topology.
+    pub fn links(&self, topo: &Topology) -> Result<Vec<LinkId>, PathError> {
+        let mut links = Vec::with_capacity(self.link_count());
+        links.push(topo.ni_ingress_link(self.src));
+        let mut router = topo.ni_router(self.src);
+        for (i, &port) in self.ports.iter().enumerate() {
+            let target = topo
+                .port_target(router, port)
+                .ok_or(PathError::NoSuchPort { router, port })?;
+            let link = topo
+                .out_link(router, port)
+                .ok_or(PathError::NoSuchPort { router, port })?;
+            links.push(link);
+            match target {
+                PortTarget::Router(next) => {
+                    if i + 1 == self.ports.len() {
+                        return Err(PathError::EndsAtRouter { router: next });
+                    }
+                    router = next;
+                }
+                PortTarget::Ni(ni) => {
+                    if i + 1 != self.ports.len() {
+                        return Err(PathError::EntersNiMidway { ni });
+                    }
+                    if ni != self.dst {
+                        return Err(PathError::WrongDestination {
+                            expected: self.dst,
+                            actual: ni,
+                        });
+                    }
+                }
+            }
+        }
+        if self.ports.is_empty() {
+            return Err(PathError::Empty);
+        }
+        Ok(links)
+    }
+
+    /// The routers visited, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PathError`] if the port sequence is invalid (see
+    /// [`links`](Self::links)).
+    pub fn routers(&self, topo: &Topology) -> Result<Vec<RouterId>, PathError> {
+        // Validate first so the walk below cannot step off the topology.
+        self.links(topo)?;
+        let mut routers = vec![topo.ni_router(self.src)];
+        let mut router = topo.ni_router(self.src);
+        for &port in &self.ports[..self.ports.len() - 1] {
+            match topo.port_target(router, port) {
+                Some(PortTarget::Router(next)) => {
+                    routers.push(next);
+                    router = next;
+                }
+                _ => unreachable!("validated above"),
+            }
+        }
+        Ok(routers)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ->", self.src)?;
+        for p in &self.ports {
+            write!(f, " {p}")?;
+        }
+        write!(f, " -> {}", self.dst)
+    }
+}
+
+/// Why a port sequence is not a valid path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathError {
+    /// The path has no ports at all.
+    Empty,
+    /// A router was asked for a port it does not have.
+    NoSuchPort {
+        /// Router missing the port.
+        router: RouterId,
+        /// The out-of-range port.
+        port: Port,
+    },
+    /// The final port faces another router instead of an NI.
+    EndsAtRouter {
+        /// The router the path dangles into.
+        router: RouterId,
+    },
+    /// A non-final port faces an NI.
+    EntersNiMidway {
+        /// The NI entered too early.
+        ni: NiId,
+    },
+    /// The final port faces an NI other than the declared destination.
+    WrongDestination {
+        /// Declared destination.
+        expected: NiId,
+        /// NI the ports actually lead to.
+        actual: NiId,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "path has no hops"),
+            PathError::NoSuchPort { router, port } => {
+                write!(f, "{router} has no port {port}")
+            }
+            PathError::EndsAtRouter { router } => {
+                write!(f, "path ends at {router} instead of an NI")
+            }
+            PathError::EntersNiMidway { ni } => {
+                write!(f, "path enters {ni} before its final hop")
+            }
+            PathError::WrongDestination { expected, actual } => {
+                write!(f, "path reaches {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// Builds the dimension-ordered path between two NIs on a mesh:
+/// first along `x`, then along `y` when `x_first`, otherwise the reverse.
+///
+/// Returns `None` when the topology has no mesh coordinates or a needed
+/// neighbour port is missing (irregular topology).
+#[must_use]
+pub fn dimension_ordered(topo: &Topology, src: NiId, dst: NiId, x_first: bool) -> Option<Path> {
+    let (mut x, mut y) = topo.coords(topo.ni_router(src))?;
+    let (tx, ty) = topo.coords(topo.ni_router(dst))?;
+    let mut ports = Vec::new();
+    let mut router = topo.ni_router(src);
+    let step = |router: &mut RouterId, nx: u32, ny: u32, ports: &mut Vec<Port>| -> Option<()> {
+        let next = topo.router_at(nx, ny)?;
+        let port = topo.port_towards(*router, PortTarget::Router(next))?;
+        ports.push(port);
+        *router = next;
+        Some(())
+    };
+    let walk_x = |x: &mut u32, y: u32, router: &mut RouterId, ports: &mut Vec<Port>| -> Option<()> {
+        while *x != tx {
+            let nx = if *x < tx { *x + 1 } else { *x - 1 };
+            step(router, nx, y, ports)?;
+            *x = nx;
+        }
+        Some(())
+    };
+    let walk_y = |x: u32, y: &mut u32, router: &mut RouterId, ports: &mut Vec<Port>| -> Option<()> {
+        while *y != ty {
+            let ny = if *y < ty { *y + 1 } else { *y - 1 };
+            step(router, x, ny, ports)?;
+            *y = ny;
+        }
+        Some(())
+    };
+    if x_first {
+        walk_x(&mut x, y, &mut router, &mut ports)?;
+        walk_y(x, &mut y, &mut router, &mut ports)?;
+    } else {
+        walk_y(x, &mut y, &mut router, &mut ports)?;
+        walk_x(&mut x, y, &mut router, &mut ports)?;
+    }
+    let last = topo.port_towards(router, PortTarget::Ni(dst))?;
+    ports.push(last);
+    Some(Path { src, dst, ports })
+}
+
+/// Router-hop slack allowed beyond the minimum when enumerating route
+/// candidates: each extra hop costs one flit cycle of pipeline latency but
+/// buys path diversity, which the allocator needs when the minimal routes
+/// are fragmented (straight-line mesh pairs have only one shortest path).
+pub const ROUTE_SLACK_HOPS: u32 = 2;
+
+/// Enumerates up to `max` distinct paths from `src` to `dst`, shortest
+/// first: XY and YX (when the topology is a mesh), then every other simple
+/// path within [`ROUTE_SLACK_HOPS`] extra router hops of the minimum,
+/// ordered by length.
+///
+/// Always returns at least one path when the NIs are connected.
+#[must_use]
+pub fn route_candidates(topo: &Topology, src: NiId, dst: NiId, max: usize) -> Vec<Path> {
+    let mut out: Vec<Path> = Vec::new();
+    for x_first in [true, false] {
+        if let Some(p) = dimension_ordered(topo, src, dst, x_first) {
+            if !out.contains(&p) {
+                out.push(p);
+            }
+        }
+    }
+    if out.len() >= max {
+        out.truncate(max);
+        return out;
+    }
+    let mut extra = bounded_paths(topo, src, dst, ROUTE_SLACK_HOPS, max.saturating_mul(4));
+    extra.sort_by_key(Path::router_count);
+    for p in extra {
+        if out.len() >= max {
+            break;
+        }
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// All simple router-level paths between two NIs whose router-hop count is
+/// within `slack` of the minimum, up to `cap` results.
+fn bounded_paths(topo: &Topology, src: NiId, dst: NiId, slack: u32, cap: usize) -> Vec<Path> {
+    let start = topo.ni_router(src);
+    let goal = topo.ni_router(dst);
+
+    // BFS distances from the goal router.
+    let mut dist = vec![u32::MAX; topo.router_count()];
+    dist[goal.index()] = 0;
+    let mut q = VecDeque::from([goal]);
+    while let Some(r) = q.pop_front() {
+        for (_, target) in topo.ports(r) {
+            if let PortTarget::Router(n) = target {
+                if dist[n.index()] == u32::MAX {
+                    dist[n.index()] = dist[r.index()] + 1;
+                    q.push_back(n);
+                }
+            }
+        }
+    }
+    if dist[start.index()] == u32::MAX {
+        return Vec::new();
+    }
+    let limit = dist[start.index()] + slack;
+
+    // DFS with a hop budget; `visited` keeps paths simple.
+    let mut results = Vec::new();
+    let mut stack: Vec<(RouterId, Vec<Port>, Vec<bool>)> = {
+        let mut visited = vec![false; topo.router_count()];
+        visited[start.index()] = true;
+        vec![(start, Vec::new(), visited)]
+    };
+    while let Some((r, ports, visited)) = stack.pop() {
+        if results.len() >= cap {
+            break;
+        }
+        if r == goal {
+            let mut full = ports.clone();
+            if let Some(last) = topo.port_towards(r, PortTarget::Ni(dst)) {
+                full.push(last);
+                results.push(Path {
+                    src,
+                    dst,
+                    ports: full,
+                });
+            }
+            continue;
+        }
+        for (port, target) in topo.ports(r) {
+            if let PortTarget::Router(n) = target {
+                let hops_if_taken = ports.len() as u32 + 1;
+                if !visited[n.index()] && hops_if_taken + dist[n.index()] <= limit {
+                    let mut next = ports.clone();
+                    next.push(port);
+                    let mut v = visited.clone();
+                    v[n.index()] = true;
+                    stack.push((n, next, v));
+                }
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Topology {
+        Topology::mesh(4, 3, 4)
+    }
+
+    fn ni_at(topo: &Topology, x: u32, y: u32, i: usize) -> NiId {
+        let r = topo.router_at(x, y).unwrap();
+        topo.router_nis(r).nth(i).unwrap()
+    }
+
+    #[test]
+    fn xy_path_has_manhattan_length() {
+        let t = mesh();
+        let a = ni_at(&t, 0, 0, 0);
+        let b = ni_at(&t, 3, 2, 0);
+        let p = dimension_ordered(&t, a, b, true).unwrap();
+        // 3 x-hops + 2 y-hops + final NI port = 6 ports; 6 routers visited.
+        assert_eq!(p.router_count(), 6);
+        assert_eq!(p.link_count(), 7);
+        p.links(&t).unwrap();
+    }
+
+    #[test]
+    fn xy_and_yx_differ_for_diagonal_pairs() {
+        let t = mesh();
+        let a = ni_at(&t, 0, 0, 0);
+        let b = ni_at(&t, 2, 2, 0);
+        let xy = dimension_ordered(&t, a, b, true).unwrap();
+        let yx = dimension_ordered(&t, a, b, false).unwrap();
+        assert_ne!(xy, yx);
+        assert_eq!(xy.router_count(), yx.router_count());
+    }
+
+    #[test]
+    fn same_router_pair_uses_single_hop() {
+        let t = mesh();
+        let a = ni_at(&t, 1, 1, 0);
+        let b = ni_at(&t, 1, 1, 2);
+        let p = dimension_ordered(&t, a, b, true).unwrap();
+        assert_eq!(p.router_count(), 1);
+        let links = p.links(&t).unwrap();
+        assert_eq!(links.len(), 2); // NI in, NI out
+    }
+
+    #[test]
+    fn path_links_shift_one_per_hop() {
+        let t = mesh();
+        let a = ni_at(&t, 0, 0, 0);
+        let b = ni_at(&t, 1, 0, 0);
+        let p = dimension_ordered(&t, a, b, true).unwrap();
+        let links = p.links(&t).unwrap();
+        assert_eq!(links[0], t.ni_ingress_link(a));
+        assert_eq!(*links.last().unwrap(), t.ni_egress_link(b));
+    }
+
+    #[test]
+    fn routers_lists_visited_routers() {
+        let t = mesh();
+        let a = ni_at(&t, 0, 0, 0);
+        let b = ni_at(&t, 2, 0, 0);
+        let p = dimension_ordered(&t, a, b, true).unwrap();
+        let routers = p.routers(&t).unwrap();
+        assert_eq!(
+            routers,
+            vec![
+                t.router_at(0, 0).unwrap(),
+                t.router_at(1, 0).unwrap(),
+                t.router_at(2, 0).unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn candidates_are_distinct_valid_and_shortest_first() {
+        let t = mesh();
+        let a = ni_at(&t, 0, 0, 0);
+        let b = ni_at(&t, 2, 1, 0);
+        let cands = route_candidates(&t, a, b, 8);
+        assert!(cands.len() >= 2, "expected XY and YX at least");
+        let min = cands.iter().map(Path::router_count).min().unwrap();
+        // XY/YX come first and are minimal; lengths never decrease after.
+        assert_eq!(cands[0].router_count(), min);
+        for w in cands.windows(2) {
+            assert!(w[0].router_count() <= w[1].router_count());
+        }
+        for (i, p) in cands.iter().enumerate() {
+            assert!(p.router_count() <= min + ROUTE_SLACK_HOPS as usize);
+            p.links(&t).unwrap();
+            for (j, q) in cands.iter().enumerate() {
+                if i != j {
+                    assert_ne!(p, q);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_count_matches_lattice_paths() {
+        // Between (0,0) and (2,1) there are C(3,1)=3 shortest router walks;
+        // with detour slack there are more, but exactly 3 minimal ones.
+        let t = mesh();
+        let a = ni_at(&t, 0, 0, 0);
+        let b = ni_at(&t, 2, 1, 0);
+        let cands = route_candidates(&t, a, b, 64);
+        let min = cands.iter().map(Path::router_count).min().unwrap();
+        let minimal = cands.iter().filter(|p| p.router_count() == min).count();
+        assert_eq!(minimal, 3);
+        assert!(cands.len() > 3, "detour paths expected");
+    }
+
+    #[test]
+    fn straight_line_pairs_get_detour_candidates() {
+        // (0,0) -> (3,0): a single shortest path, but detours exist.
+        let t = mesh();
+        let a = ni_at(&t, 0, 0, 0);
+        let b = ni_at(&t, 3, 0, 0);
+        let cands = route_candidates(&t, a, b, 12);
+        assert!(cands.len() >= 4, "got only {} candidates", cands.len());
+        let min = cands[0].router_count();
+        assert!(cands.iter().filter(|p| p.router_count() == min).count() == 1);
+    }
+
+    #[test]
+    fn invalid_paths_are_rejected() {
+        let t = mesh();
+        let a = ni_at(&t, 0, 0, 0);
+        let b = ni_at(&t, 1, 0, 0);
+        // Empty path.
+        let p = Path {
+            src: a,
+            dst: b,
+            ports: vec![],
+        };
+        assert_eq!(p.links(&t), Err(PathError::Empty));
+        // Path that stops at a router.
+        let good = dimension_ordered(&t, a, b, true).unwrap();
+        let mut short = good.clone();
+        short.ports.pop();
+        assert!(matches!(
+            short.links(&t),
+            Err(PathError::EndsAtRouter { .. })
+        ));
+        // Path to the wrong NI.
+        let c = ni_at(&t, 1, 0, 1);
+        let mut wrong = good.clone();
+        wrong.dst = c;
+        assert!(matches!(
+            wrong.links(&t),
+            Err(PathError::WrongDestination { .. })
+        ));
+        // Port out of range.
+        let mut bogus = good;
+        bogus.ports[0] = Port(99);
+        assert!(matches!(bogus.links(&t), Err(PathError::NoSuchPort { .. })));
+    }
+
+    #[test]
+    fn enters_ni_midway_is_detected() {
+        let t = mesh();
+        let a = ni_at(&t, 0, 0, 0);
+        let b = ni_at(&t, 1, 0, 0);
+        // First hop straight into a local NI, then more ports.
+        let local = ni_at(&t, 0, 0, 1);
+        let r0 = t.router_at(0, 0).unwrap();
+        let port_to_local = t.port_towards(r0, PortTarget::Ni(local)).unwrap();
+        let p = Path {
+            src: a,
+            dst: b,
+            ports: vec![port_to_local, Port(0)],
+        };
+        assert!(matches!(p.links(&t), Err(PathError::EntersNiMidway { .. })));
+    }
+
+    #[test]
+    fn display_shows_route() {
+        let t = mesh();
+        let a = ni_at(&t, 0, 0, 0);
+        let b = ni_at(&t, 1, 0, 0);
+        let p = dimension_ordered(&t, a, b, true).unwrap();
+        let s = p.to_string();
+        assert!(s.starts_with(&a.to_string()), "{s}");
+        assert!(s.ends_with(&b.to_string()), "{s}");
+    }
+
+    #[test]
+    fn path_error_display() {
+        let e = PathError::WrongDestination {
+            expected: NiId::new(1),
+            actual: NiId::new(2),
+        };
+        assert!(e.to_string().contains("NI1"));
+        assert!(e.to_string().contains("NI2"));
+    }
+}

@@ -1,0 +1,341 @@
+//! TDM slot tables: the reservation state of one link.
+//!
+//! Contention-free routing reserves, for every link, which connection may
+//! occupy it during each slot of the table period. The tables of all links
+//! plus the per-connection injection slots *are* the allocation.
+
+use aelite_spec::ids::ConnId;
+use core::fmt;
+
+/// The reservation table of a single link: `size` slots, each free or
+/// owned by one connection.
+///
+/// # Examples
+///
+/// ```
+/// use aelite_alloc::table::SlotTable;
+/// use aelite_spec::ids::ConnId;
+///
+/// let mut t = SlotTable::new(8);
+/// t.reserve(3, ConnId::new(0)).unwrap();
+/// assert_eq!(t.owner(3), Some(ConnId::new(0)));
+/// assert!(t.is_free(4));
+/// assert_eq!(t.reserved_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotTable {
+    slots: Vec<Option<ConnId>>,
+}
+
+impl SlotTable {
+    /// Creates a table of `size` free slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn new(size: u32) -> Self {
+        assert!(size > 0, "slot table must have at least one slot");
+        SlotTable {
+            slots: vec![None; size as usize],
+        }
+    }
+
+    /// The table period in slots.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Whether `slot` (taken modulo the table size) is unreserved.
+    #[must_use]
+    pub fn is_free(&self, slot: u32) -> bool {
+        self.slots[self.wrap(slot)].is_none()
+    }
+
+    /// The connection owning `slot` (modulo table size), if any.
+    #[must_use]
+    pub fn owner(&self, slot: u32) -> Option<ConnId> {
+        self.slots[self.wrap(slot)]
+    }
+
+    /// Reserves `slot` (modulo table size) for `conn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the current owner if the slot is already taken — the caller
+    /// (allocator) treats this as "try elsewhere", never as a panic,
+    /// because contention for slots is the normal case.
+    pub fn reserve(&mut self, slot: u32, conn: ConnId) -> Result<(), ConnId> {
+        let i = self.wrap(slot);
+        match self.slots[i] {
+            Some(owner) => Err(owner),
+            None => {
+                self.slots[i] = Some(conn);
+                Ok(())
+            }
+        }
+    }
+
+    /// Releases `slot` (modulo table size), returning its previous owner.
+    pub fn release(&mut self, slot: u32) -> Option<ConnId> {
+        let i = self.wrap(slot);
+        self.slots[i].take()
+    }
+
+    /// Releases every slot owned by `conn`, returning how many there were.
+    pub fn release_all(&mut self, conn: ConnId) -> u32 {
+        let mut n = 0;
+        for s in &mut self.slots {
+            if *s == Some(conn) {
+                *s = None;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Number of reserved slots.
+    #[must_use]
+    pub fn reserved_count(&self) -> u32 {
+        self.slots.iter().filter(|s| s.is_some()).count() as u32
+    }
+
+    /// Fraction of the table that is reserved, in `[0, 1]`.
+    #[must_use]
+    pub fn utilisation(&self) -> f64 {
+        f64::from(self.reserved_count()) / f64::from(self.size())
+    }
+
+    /// The slots reserved for `conn`, ascending.
+    #[must_use]
+    pub fn slots_of(&self, conn: ConnId) -> Vec<u32> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Some(conn))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Iterates over `(slot, owner)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Option<ConnId>)> + '_ {
+        self.slots.iter().enumerate().map(|(i, &s)| (i as u32, s))
+    }
+
+    fn wrap(&self, slot: u32) -> usize {
+        (slot as usize) % self.slots.len()
+    }
+}
+
+impl fmt::Display for SlotTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            match s {
+                Some(c) => write!(f, "{c}")?,
+                None => write!(f, "-")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// The circular gaps, in slots, between consecutive reserved injection
+/// slots of a connection.
+///
+/// `gaps(&[1, 4], 8)` is `[3, 5]`: slot 1→4 is 3 apart, and wrapping
+/// 4→1 is 5 apart. A connection waiting for its next slot waits at most
+/// `max(gaps) * slot_cycles` cycles — the quantity behind every latency
+/// bound in the analysis crate.
+///
+/// Returns an empty vector for fewer than one slot, and `[size]` for a
+/// single slot (a full revolution back to itself).
+///
+/// # Panics
+///
+/// Panics if any slot is ≥ `size` or slots are not strictly ascending.
+#[must_use]
+pub fn gaps(slots: &[u32], size: u32) -> Vec<u32> {
+    if slots.is_empty() {
+        return Vec::new();
+    }
+    for w in slots.windows(2) {
+        assert!(w[0] < w[1], "slots must be strictly ascending");
+    }
+    assert!(*slots.last().unwrap() < size, "slot out of table range");
+    if slots.len() == 1 {
+        return vec![size];
+    }
+    let mut out = Vec::with_capacity(slots.len());
+    for w in slots.windows(2) {
+        out.push(w[1] - w[0]);
+    }
+    out.push(size - slots.last().unwrap() + slots[0]);
+    out
+}
+
+/// The worst-case number of slots spanned by `m` consecutive reserved
+/// slots, over all starting positions — i.e. the worst wait-plus-
+/// serialisation window for an `m`-flit message.
+///
+/// For `m = 1` this is simply the maximum gap.
+///
+/// # Panics
+///
+/// Panics if `m` is zero or `slots` is empty (no service at all), or the
+/// slots are invalid per [`gaps`].
+#[must_use]
+pub fn worst_window(slots: &[u32], size: u32, m: u32) -> u32 {
+    assert!(m > 0, "window of zero flits");
+    assert!(!slots.is_empty(), "connection has no slots");
+    let g = gaps(slots, size);
+    let n = g.len();
+    let m = m as usize;
+    // Sum of m consecutive gaps (circular), maximised over start position.
+    // When m >= n the message needs more table revolutions: every full
+    // revolution adds `size`.
+    let full_revs = (m / n) as u32;
+    let rem = m % n;
+    let mut worst = 0;
+    if rem == 0 {
+        return full_revs * size;
+    }
+    for start in 0..n {
+        let mut acc = 0;
+        for k in 0..rem {
+            acc += g[(start + k) % n];
+        }
+        worst = worst.max(acc);
+    }
+    full_revs * size + worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ConnId {
+        ConnId::new(i)
+    }
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let mut t = SlotTable::new(4);
+        t.reserve(2, c(7)).unwrap();
+        assert_eq!(t.owner(2), Some(c(7)));
+        assert_eq!(t.release(2), Some(c(7)));
+        assert!(t.is_free(2));
+        assert_eq!(t.release(2), None);
+    }
+
+    #[test]
+    fn reserve_wraps_modulo_size() {
+        let mut t = SlotTable::new(4);
+        t.reserve(6, c(0)).unwrap(); // = slot 2
+        assert_eq!(t.owner(2), Some(c(0)));
+        assert!(!t.is_free(6));
+    }
+
+    #[test]
+    fn double_reserve_reports_owner() {
+        let mut t = SlotTable::new(4);
+        t.reserve(1, c(0)).unwrap();
+        assert_eq!(t.reserve(1, c(1)), Err(c(0)));
+        // Original reservation untouched.
+        assert_eq!(t.owner(1), Some(c(0)));
+    }
+
+    #[test]
+    fn release_all_clears_only_that_connection() {
+        let mut t = SlotTable::new(8);
+        t.reserve(0, c(0)).unwrap();
+        t.reserve(1, c(1)).unwrap();
+        t.reserve(5, c(0)).unwrap();
+        assert_eq!(t.release_all(c(0)), 2);
+        assert_eq!(t.reserved_count(), 1);
+        assert_eq!(t.owner(1), Some(c(1)));
+    }
+
+    #[test]
+    fn slots_of_returns_ascending() {
+        let mut t = SlotTable::new(8);
+        for s in [6, 1, 4] {
+            t.reserve(s, c(3)).unwrap();
+        }
+        assert_eq!(t.slots_of(c(3)), vec![1, 4, 6]);
+    }
+
+    #[test]
+    fn utilisation_fraction() {
+        let mut t = SlotTable::new(8);
+        t.reserve(0, c(0)).unwrap();
+        t.reserve(1, c(0)).unwrap();
+        assert!((t.utilisation() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_marks_free_and_owned() {
+        let mut t = SlotTable::new(3);
+        t.reserve(1, c(5)).unwrap();
+        assert_eq!(t.to_string(), "[- c5 -]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_size_table_rejected() {
+        let _ = SlotTable::new(0);
+    }
+
+    #[test]
+    fn gaps_of_spread_slots() {
+        assert_eq!(gaps(&[1, 4], 8), vec![3, 5]);
+        assert_eq!(gaps(&[0, 2, 4, 6], 8), vec![2, 2, 2, 2]);
+        assert_eq!(gaps(&[7], 8), vec![8]);
+        assert_eq!(gaps(&[], 8), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn gaps_reject_unsorted() {
+        let _ = gaps(&[4, 1], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of table range")]
+    fn gaps_reject_out_of_range() {
+        let _ = gaps(&[9], 8);
+    }
+
+    #[test]
+    fn worst_window_single_flit_is_max_gap() {
+        assert_eq!(worst_window(&[1, 4], 8, 1), 5);
+        assert_eq!(worst_window(&[0, 2, 4, 6], 8, 1), 2);
+    }
+
+    #[test]
+    fn worst_window_multi_flit_sums_consecutive_gaps() {
+        // Gaps of [1,4] in 8: [3, 5]. Two flits: worst is 3+5 = 8.
+        assert_eq!(worst_window(&[1, 4], 8, 2), 8);
+        // Three flits: one full revolution (8) plus worst single gap (5).
+        assert_eq!(worst_window(&[1, 4], 8, 3), 13);
+        // Evenly spread: m flits take m gaps of 2.
+        assert_eq!(worst_window(&[0, 2, 4, 6], 8, 3), 6);
+    }
+
+    #[test]
+    fn worst_window_single_slot_connection() {
+        // One slot in 8: every flit costs a full revolution.
+        assert_eq!(worst_window(&[3], 8, 1), 8);
+        assert_eq!(worst_window(&[3], 8, 4), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "no slots")]
+    fn worst_window_requires_slots() {
+        let _ = worst_window(&[], 8, 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Independent validation of an [`Allocation`] against its [`SystemSpec`].
+//!
+//! The validator re-derives every property the allocator is supposed to
+//! guarantee, from scratch, so that a bug in the allocator cannot hide
+//! behind its own bookkeeping:
+//!
+//! 1. every connection holds a grant whose path really leads from its
+//!    source NI to its destination NI;
+//! 2. the link tables contain *exactly* the shifted reservations implied by
+//!    the grants — no missing entries, no orphans (the contention-free
+//!    invariant);
+//! 3. reserved slots deliver at least the contracted bandwidth;
+//! 4. the worst-case latency bound meets the contracted deadline.
+
+use crate::allocate::Allocation;
+use crate::path::PathError;
+use aelite_spec::app::SystemSpec;
+use aelite_spec::ids::{ConnId, LinkId};
+use core::fmt;
+
+/// One discrepancy between a spec and an allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A connection has no grant at all.
+    MissingGrant {
+        /// The ungranted connection.
+        conn: ConnId,
+    },
+    /// A grant's path is not walkable in the topology.
+    BadPath {
+        /// The connection with the broken path.
+        conn: ConnId,
+        /// What is wrong with the port sequence.
+        error: PathError,
+    },
+    /// A grant's path does not connect the connection's NIs.
+    WrongEndpoints {
+        /// The misrouted connection.
+        conn: ConnId,
+    },
+    /// A slot the grant implies is not reserved for the connection.
+    TableMismatch {
+        /// The connection whose reservation is missing or stolen.
+        conn: ConnId,
+        /// The link whose table disagrees.
+        link: LinkId,
+        /// The (unwrapped) slot index expected to be owned.
+        slot: u32,
+    },
+    /// A link table reserves a slot no grant accounts for.
+    OrphanReservation {
+        /// The link holding the stray reservation.
+        link: LinkId,
+        /// The slot index.
+        slot: u32,
+        /// The connection the table claims owns it.
+        conn: ConnId,
+    },
+    /// The granted slots deliver less than the contracted bandwidth.
+    BandwidthShort {
+        /// The under-provisioned connection.
+        conn: ConnId,
+        /// Bytes per second granted.
+        granted: u64,
+        /// Bytes per second contracted.
+        required: u64,
+    },
+    /// The worst-case latency bound exceeds the contracted deadline.
+    LatencyExceeded {
+        /// The late connection.
+        conn: ConnId,
+        /// The analytical worst-case bound, in nanoseconds.
+        bound_ns: u64,
+        /// The contract, in nanoseconds.
+        required_ns: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MissingGrant { conn } => write!(f, "{conn} has no grant"),
+            Violation::BadPath { conn, error } => write!(f, "{conn} path invalid: {error}"),
+            Violation::WrongEndpoints { conn } => {
+                write!(f, "{conn} path does not connect its NIs")
+            }
+            Violation::TableMismatch { conn, link, slot } => {
+                write!(f, "{conn} reservation missing on {link} slot {slot}")
+            }
+            Violation::OrphanReservation { link, slot, conn } => {
+                write!(f, "orphan reservation for {conn} on {link} slot {slot}")
+            }
+            Violation::BandwidthShort {
+                conn,
+                granted,
+                required,
+            } => write!(f, "{conn} granted {granted} B/s < required {required} B/s"),
+            Violation::LatencyExceeded {
+                conn,
+                bound_ns,
+                required_ns,
+            } => write!(f, "{conn} bound {bound_ns} ns > required {required_ns} ns"),
+        }
+    }
+}
+
+/// Checks `alloc` against `spec`, returning every violation found.
+///
+/// # Errors
+///
+/// Returns the non-empty list of [`Violation`]s if any check fails.
+pub fn validate(spec: &SystemSpec, alloc: &Allocation) -> Result<(), Vec<Violation>> {
+    let mut violations = Vec::new();
+    let topo = spec.topology();
+    let size = alloc.table_size();
+
+    // Expected reservations, rebuilt from the grants: (link, slot) -> conn.
+    let mut expected: std::collections::HashMap<(usize, u32), ConnId> =
+        std::collections::HashMap::new();
+
+    for c in spec.connections() {
+        let Some(grant) = alloc.grant(c.id) else {
+            violations.push(Violation::MissingGrant { conn: c.id });
+            continue;
+        };
+        // Path must be walkable...
+        let links = match grant.path.links(topo) {
+            Ok(l) => l,
+            Err(error) => {
+                violations.push(Violation::BadPath { conn: c.id, error });
+                continue;
+            }
+        };
+        // ... and connect exactly this connection's NIs.
+        if grant.path.src != spec.ip_ni(c.src) || grant.path.dst != spec.ip_ni(c.dst) {
+            violations.push(Violation::WrongEndpoints { conn: c.id });
+            continue;
+        }
+        // Record the shifted reservations this grant implies.
+        let shift = spec.config().slots_per_hop();
+        for &s in &grant.inject_slots {
+            for (i, &l) in links.iter().enumerate() {
+                let slot = (s + i as u32 * shift) % size;
+                expected.insert((l.index(), slot), c.id);
+                if alloc.link_table(l).owner(slot) != Some(c.id) {
+                    violations.push(Violation::TableMismatch {
+                        conn: c.id,
+                        link: l,
+                        slot,
+                    });
+                }
+            }
+        }
+        // Bandwidth.
+        let granted = alloc.allocated_bandwidth(spec, c.id).bytes_per_sec();
+        if granted < c.bandwidth.bytes_per_sec() {
+            violations.push(Violation::BandwidthShort {
+                conn: c.id,
+                granted,
+                required: c.bandwidth.bytes_per_sec(),
+            });
+        }
+        // Latency.
+        let bound_ns = alloc.worst_case_latency_ns(spec, c.id).ceil() as u64;
+        if bound_ns > c.max_latency_ns {
+            violations.push(Violation::LatencyExceeded {
+                conn: c.id,
+                bound_ns,
+                required_ns: c.max_latency_ns,
+            });
+        }
+    }
+
+    // No orphan reservations.
+    for link in topo.links() {
+        for (slot, owner) in alloc.link_table(link).iter() {
+            if let Some(conn) = owner {
+                if expected.get(&(link.index(), slot)) != Some(&conn) {
+                    violations.push(Violation::OrphanReservation { link, slot, conn });
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocate::allocate;
+    use aelite_spec::generate::paper_workload;
+
+    #[test]
+    fn paper_allocation_validates_clean() {
+        let spec = paper_workload(42);
+        let alloc = allocate(&spec).unwrap();
+        validate(&spec, &alloc).unwrap();
+    }
+
+    #[test]
+    fn missing_grant_detected() {
+        let spec = paper_workload(1);
+        let partial = spec.restricted_to(&[aelite_spec::ids::AppId::new(0)]);
+        // Allocate only app 0, then validate against the *full* spec.
+        let alloc = allocate(&partial).unwrap();
+        let err = validate(&spec, &alloc).unwrap_err();
+        assert!(err
+            .iter()
+            .any(|v| matches!(v, Violation::MissingGrant { .. })));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation::BandwidthShort {
+            conn: ConnId::new(1),
+            granted: 10,
+            required: 20,
+        };
+        let s = v.to_string();
+        assert!(s.contains("c1") && s.contains("10") && s.contains("20"), "{s}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Experiment A1 — ablations of the design choices `DESIGN.md` calls out,
+//! plus the paper's sleep-mode future work (Section VI-A).
+//!
+//! Not a paper artefact: these quantify *why* the allocator and the
+//! configuration look the way they do, over 8 workload seeds.
+
+use aelite_alloc::allocate::Allocator;
+use aelite_bench::{check, header, row};
+use aelite_spec::generate::paper_workload;
+use aelite_spec::ids::Port;
+use aelite_synth::power::{router_power, SleepMode};
+use aelite_synth::router::{synthesize, RouterParams};
+
+const SEEDS: [u64; 8] = [1, 7, 13, 21, 42, 99, 123, 2026];
+
+fn success_count(allocator: &Allocator) -> (usize, f64) {
+    let mut ok = 0;
+    let mut peak_sum = 0.0;
+    for &seed in &SEEDS {
+        let spec = paper_workload(seed);
+        if let Ok(alloc) = allocator.allocate(&spec) {
+            ok += 1;
+            peak_sum += alloc.peak_utilisation();
+        }
+    }
+    (ok, if ok > 0 { peak_sum / ok as f64 } else { 0.0 })
+}
+
+fn main() {
+    // ---- Allocator ablations -------------------------------------------
+    header(
+        "allocator ablations (paper workload, 8 seeds)",
+        &["variant", "seeds allocated", "mean peak link utilisation"],
+    );
+    let full = Allocator::new();
+    let cases: [(&str, Allocator); 5] = [
+        ("full allocator (12 paths, latency-aware, 4 salts)", full),
+        (
+            "no latency-aware slots",
+            Allocator {
+                latency_aware: false,
+                ..full
+            },
+        ),
+        (
+            "2 candidate paths",
+            Allocator {
+                max_paths: 2,
+                ..full
+            },
+        ),
+        (
+            "single phase salt",
+            Allocator {
+                phase_salts: &[13],
+                ..full
+            },
+        ),
+        (
+            "4 candidate paths",
+            Allocator {
+                max_paths: 4,
+                ..full
+            },
+        ),
+    ];
+    let mut results = Vec::new();
+    for (name, a) in &cases {
+        let (ok, peak) = success_count(a);
+        row(&[
+            (*name).to_string(),
+            format!("{ok}/8"),
+            format!("{peak:.2}"),
+        ]);
+        results.push((*name, ok));
+    }
+    check(
+        "full allocator allocates every seed",
+        results[0].1 == 8,
+        format!("{}/8", results[0].1),
+    );
+    // Note: without latency-aware slot addition, grants meet bandwidth but
+    // the validator rejects missed deadlines, so allocate() fails.
+    check(
+        "latency-aware slot addition is load-bearing",
+        results[1].1 < results[0].1,
+        format!("{}/8 without it", results[1].1),
+    );
+    check(
+        "path diversity matters",
+        results[2].1 <= results[0].1,
+        format!("{}/8 with 2 paths", results[2].1),
+    );
+
+    // ---- Sleep-mode power (the paper's future work) ---------------------
+    // The TDM schedule is static, so gating schedules are known at design
+    // time. Granularity matters: on a busy NoC *some* port is active in
+    // nearly every slot, so whole-router gating saves almost nothing —
+    // per-port gating is where the savings are. Both are quantified from
+    // the allocated paper workload (seed 42).
+    header(
+        "NoC clock power at 500 MHz under sleep modes (12 routers, seed 42)",
+        &["policy", "power (mW)", "saving vs always-on"],
+    );
+    let area = synthesize(&RouterParams::paper_reference(), 500.0).area_um2;
+    let spec = paper_workload(42);
+    let alloc = Allocator::new().allocate(&spec).expect("allocates");
+    let topo = spec.topology();
+    let size = spec.config().slot_table_size;
+
+    let mut always_on = 0.0;
+    let mut router_gated = 0.0;
+    let mut port_gated = 0.0;
+    for r in topo.routers() {
+        let arity = topo.arity(r);
+        let port_area = area / arity as f64;
+        let mut busy_union = vec![false; size as usize];
+        let mut mean_util = 0.0;
+        // Per-port accounting: each port's share of the router gates on
+        // its own link's schedule.
+        for p in 0..arity {
+            let link = topo.out_link(r, Port(p as u8)).expect("port");
+            let table = alloc.link_table(link);
+            let util = table.utilisation();
+            mean_util += util / arity as f64;
+            for (slot, owner) in table.iter() {
+                if owner.is_some() {
+                    busy_union[slot as usize] = true;
+                }
+            }
+            always_on += router_power(port_area, 500.0, util, SleepMode::AlwaysOn).total_mw();
+            port_gated += router_power(
+                port_area,
+                500.0,
+                util,
+                SleepMode::ClockGated { wake_overhead: 0.05 },
+            )
+            .total_mw();
+        }
+        // Whole-router gating: the clock runs whenever *any* port has a
+        // reservation in the slot (the union occupancy), plus overhead.
+        let occ = busy_union.iter().filter(|b| **b).count() as f64 / f64::from(size);
+        let on = router_power(area, 500.0, mean_util, SleepMode::AlwaysOn);
+        let clock_fraction = (occ + 0.05_f64).min(1.0);
+        router_gated += on.leakage_mw + on.clock_mw * clock_fraction + on.data_mw;
+    }
+
+    row(&["always-on (paper's current form)".to_string(), format!("{always_on:.1}"), "-".to_string()]);
+    row(&[
+        "whole-router clock gating".to_string(),
+        format!("{router_gated:.1}"),
+        format!("{:.0}%", (1.0 - router_gated / always_on) * 100.0),
+    ]);
+    row(&[
+        "per-port clock gating".to_string(),
+        format!("{port_gated:.1}"),
+        format!("{:.0}%", (1.0 - port_gated / always_on) * 100.0),
+    ]);
+    check(
+        "whole-router gating saves little on a busy NoC",
+        router_gated > always_on * 0.9,
+        format!("{always_on:.1} -> {router_gated:.1} mW"),
+    );
+    check(
+        "per-port (schedule-driven) gating saves meaningful power",
+        port_gated < always_on * 0.75,
+        format!("{always_on:.1} -> {port_gated:.1} mW"),
+    );
+    println!("\na1_ablations: all checks passed");
+}

@@ -1,0 +1,75 @@
+//! Experiment M1 — Fig 3 behaviour: flit synchronicity over mesochronous
+//! links.
+//!
+//! Sweeps the clock phases of every element of a small cycle-accurate
+//! mesochronous NoC and verifies the paper's Section V properties:
+//! deliveries land in exactly the same local flit cycle for every legal
+//! skew, and the 4-word bi-synchronous FIFO sizing suffices (an overflow
+//! would panic the models).
+
+use aelite_alloc::allocate;
+use aelite_bench::{check, header, row};
+use aelite_noc::network::{build_network, NetworkKind};
+use aelite_noc::ni::Message;
+use aelite_spec::app::SystemSpecBuilder;
+use aelite_spec::config::NocConfig;
+use aelite_spec::ids::NiId;
+use aelite_spec::topology::Topology;
+use aelite_spec::traffic::Bandwidth;
+
+fn main() {
+    // 2x2 mesochronous mesh, two crossing connections.
+    let topo = Topology::mesh(2, 2, 1);
+    let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_mesochronous());
+    let app = b.add_app("app");
+    let ips: Vec<_> = (0..4).map(|i| b.add_ip_at(NiId::new(i))).collect();
+    let c0 = b.add_connection(app, ips[0], ips[3], Bandwidth::from_mbytes_per_sec(50), 900);
+    let c1 = b.add_connection(app, ips[1], ips[2], Bandwidth::from_mbytes_per_sec(50), 900);
+    let spec = b.build();
+    let alloc = allocate(&spec).expect("allocatable");
+
+    header(
+        "mesochronous skew sweep (2x2 mesh, per-element random phases)",
+        &["phase seed", "c0 delivery cycles", "c1 delivery cycles"],
+    );
+    let mut all = Vec::new();
+    for seed in [1u64, 7, 13, 42, 99, 123, 555, 2026] {
+        let mut net = build_network(
+            &spec,
+            &alloc,
+            NetworkKind::Mesochronous { phase_seed: seed },
+            false,
+        );
+        for conn in [c0, c1] {
+            for seq in 0..3 {
+                net.queue(conn).borrow_mut().push_back(Message {
+                    seq,
+                    words: 2,
+                    ready_cycle: u64::from(seq) * 30,
+                });
+            }
+        }
+        net.run_cycles(3_000);
+        let d0 = net.delivery_cycles(c0);
+        let d1 = net.delivery_cycles(c1);
+        row(&[
+            seed.to_string(),
+            format!("{d0:?}"),
+            format!("{d1:?}"),
+        ]);
+        assert_eq!(d0.len(), 3, "seed {seed}: c0 lost flits");
+        assert_eq!(d1.len(), 3, "seed {seed}: c1 lost flits");
+        all.push((d0, d1));
+    }
+    check(
+        "delivery cycles identical for every phase assignment (flit synchronicity)",
+        all.windows(2).all(|w| w[0] == w[1]),
+        format!("{} phase seeds, all equal", all.len()),
+    );
+    check(
+        "4-word link FIFOs never overflowed (panic-free run)",
+        true,
+        "overflow would have aborted the models",
+    );
+    println!("\nm1_meso_skew: all reproduction checks passed");
+}

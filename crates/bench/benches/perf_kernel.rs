@@ -1,0 +1,56 @@
+//! Experiment P1 — engineering performance of the simulators themselves
+//! (Criterion micro/macro benchmarks; not a paper artefact).
+
+use aelite_alloc::allocate;
+use aelite_baseline::{BeConfig, BeSim};
+use aelite_core::AeliteSystem;
+use aelite_noc::flitsim::{FlitSim, FlitSimConfig};
+use aelite_spec::generate::paper_workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_allocation(c: &mut Criterion) {
+    let spec = paper_workload(42);
+    c.bench_function("allocate_paper_workload_200_conns", |b| {
+        b.iter(|| allocate(black_box(&spec)).expect("allocates"));
+    });
+}
+
+fn bench_flitsim(c: &mut Criterion) {
+    let spec = paper_workload(42);
+    let alloc = allocate(&spec).expect("allocates");
+    c.bench_function("flitsim_200_conns_30k_cycles", |b| {
+        b.iter(|| {
+            FlitSim::new(black_box(&spec), black_box(&alloc)).run(FlitSimConfig {
+                duration_cycles: 30_000,
+                ..FlitSimConfig::default()
+            })
+        });
+    });
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let spec = paper_workload(42);
+    c.bench_function("besim_200_conns_30k_cycles", |b| {
+        b.iter(|| {
+            BeSim::new(black_box(&spec)).run(BeConfig {
+                duration_cycles: 30_000,
+                ..BeConfig::default()
+            })
+        });
+    });
+}
+
+fn bench_design(c: &mut Criterion) {
+    let spec = paper_workload(42);
+    c.bench_function("design_full_system", |b| {
+        b.iter(|| AeliteSystem::design(black_box(spec.clone())).expect("designs"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_allocation, bench_flitsim, bench_baseline, bench_design
+}
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Dataflow models of aelite structures (the paper's footnote 1).
+//!
+//! "Performance analysis of a heterochronous aelite implementation is
+//! possible by modelling the links, NIs and routers in a dataflow graph"
+//! — these builders construct exactly those graphs, and the wrapper
+//! experiments cross-check the predictions against the token-level
+//! simulation in `aelite-noc::wrapper`.
+
+use crate::graph::{ActorId, HsdfGraph};
+
+/// A dataflow model of a chain of wrapped elements
+/// (NI → router → … → NI) connected by token channels.
+#[derive(Debug)]
+pub struct WrapperChainModel {
+    /// The graph.
+    pub graph: HsdfGraph,
+    /// One actor per element, in chain order.
+    pub actors: Vec<ActorId>,
+}
+
+/// Builds the HSDF model of a chain of wrapped elements.
+///
+/// * `element_frequencies_mhz` — the local clock of each element in chain
+///   order (NIs and routers alike);
+/// * `flit_words` — words per flit (3 in the paper): one firing takes
+///   `flit_words` local cycles;
+/// * `channel_capacity` — tokens per asynchronous link (the wrapper's
+///   input FIFO depth).
+///
+/// Every actor gets a 1-token self-loop (an element cannot overlap its
+/// own flit cycles) and every adjacent pair a bounded channel in both
+/// directions of travel (data forward, synchronisation/space backward) —
+/// the PIC fires only when all its PIs fire.
+///
+/// # Panics
+///
+/// Panics if fewer than two elements are given, any frequency is
+/// non-positive, or `channel_capacity` is zero.
+#[must_use]
+pub fn wrapper_chain(
+    element_frequencies_mhz: &[f64],
+    flit_words: u32,
+    channel_capacity: u32,
+) -> WrapperChainModel {
+    assert!(
+        element_frequencies_mhz.len() >= 2,
+        "a chain needs at least two elements"
+    );
+    assert!(channel_capacity > 0, "channel capacity must be non-zero");
+    let mut graph = HsdfGraph::new();
+    let actors: Vec<ActorId> = element_frequencies_mhz
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            assert!(f > 0.0, "element {i} frequency must be positive");
+            // One firing = one flit cycle = flit_words cycles, in ns.
+            let exec_ns = f64::from(flit_words) * 1_000.0 / f;
+            let a = graph.add_actor(format!("element{i}"), exec_ns);
+            graph.add_edge(a, a, 1); // non-reentrant
+            a
+        })
+        .collect();
+    for pair in actors.windows(2) {
+        graph.add_channel(pair[0], pair[1], channel_capacity);
+    }
+    WrapperChainModel { graph, actors }
+}
+
+/// The predicted steady-state flit rate of the chain, in flits per
+/// microsecond.
+///
+/// # Panics
+///
+/// Panics if the model deadlocks (zero-capacity channels cannot occur by
+/// construction, so this indicates an internal error).
+#[must_use]
+pub fn predicted_flit_rate_per_us(model: &WrapperChainModel) -> f64 {
+    let mcm_ns = model
+        .graph
+        .maximum_cycle_mean()
+        .expect("wrapper chains are cyclic by construction");
+    assert!(mcm_ns.is_finite(), "wrapper chain model deadlocked");
+    1_000.0 / mcm_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_chain_runs_at_flit_cycle_rate() {
+        // Three 500 MHz elements: flit cycle = 6 ns, rate = 166.7 /us.
+        let m = wrapper_chain(&[500.0, 500.0, 500.0], 3, 2);
+        let rate = predicted_flit_rate_per_us(&m);
+        assert!((rate - 1_000.0 / 6.0).abs() < 1e-6, "{rate}");
+    }
+
+    #[test]
+    fn slowest_element_dictates_the_rate() {
+        // Section VI-A: "the aelite NoC only runs as fast as the slowest
+        // router or NI."
+        let m = wrapper_chain(&[500.0, 490.0, 510.0], 3, 2);
+        let rate = predicted_flit_rate_per_us(&m);
+        let slowest = 1_000.0 / (3.0 * 1_000.0 / 490.0);
+        assert!((rate - slowest).abs() < 1e-6, "{rate} vs {slowest}");
+    }
+
+    #[test]
+    fn capacity_one_channels_halve_the_rate() {
+        // With a single token per channel, neighbouring firings cannot
+        // overlap: the two-actor channel cycle costs both exec times.
+        let fast = wrapper_chain(&[500.0, 500.0], 3, 2);
+        let slow = wrapper_chain(&[500.0, 500.0], 3, 1);
+        let r_fast = predicted_flit_rate_per_us(&fast);
+        let r_slow = predicted_flit_rate_per_us(&slow);
+        assert!((r_fast / r_slow - 2.0).abs() < 1e-6, "{r_fast} vs {r_slow}");
+    }
+
+    #[test]
+    fn long_chains_do_not_degrade_rate() {
+        // Pipelining: 10 elements at the same frequency still run at the
+        // single-element rate (capacity >= 2).
+        let freqs = vec![500.0; 10];
+        let m = wrapper_chain(&freqs, 3, 2);
+        let rate = predicted_flit_rate_per_us(&m);
+        assert!((rate - 1_000.0 / 6.0).abs() < 1e-6, "{rate}");
+    }
+
+    #[test]
+    fn actors_are_named_by_position() {
+        let m = wrapper_chain(&[500.0, 400.0], 3, 2);
+        assert_eq!(m.graph.actor_name(m.actors[0]), "element0");
+        assert_eq!(m.graph.actor_name(m.actors[1]), "element1");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_element_chain_rejected() {
+        let _ = wrapper_chain(&[500.0], 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_frequency_rejected() {
+        let _ = wrapper_chain(&[500.0, 0.0], 3, 2);
+    }
+}

@@ -1,0 +1,657 @@
+//! Cycle-accurate network interface (NI) models.
+//!
+//! The NI is where the guaranteed services are enforced (paper Section
+//! III): it holds the TDM slot table, injects flits only in reserved
+//! slots, packetises messages (header + payload words, explicit EoP), and
+//! implements end-to-end flow control so that a destination buffer can
+//! never overflow. IPs interface through queues and place no timing
+//! assumptions on the network — blocking reads and writes.
+//!
+//! Credits are modelled out of band (see `DESIGN.md`): the real Æthereal
+//! piggybacks them on reverse headers; here a
+//! [`SharedBisync`] channel with a configurable return delay plays that
+//! role, preserving the property that matters — credits arrive a bounded
+//! time after the consumer frees space.
+
+use crate::phit::{LinkWord, Payload, RouteBits};
+use aelite_sim::bisync::{BisyncFifo, SharedBisync};
+use aelite_sim::module::{EdgeContext, Module};
+use aelite_sim::signal::Wire;
+use aelite_sim::time::{SimDuration, SimTime};
+use aelite_spec::ids::ConnId;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A message handed to the NI by an IP core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Sequence number within its connection.
+    pub seq: u32,
+    /// Payload length in words.
+    pub words: u32,
+    /// The NI-domain cycle at which the message became available.
+    pub ready_cycle: u64,
+}
+
+/// The shared handle through which an IP (or testbench) feeds messages to
+/// a source NI queue.
+pub type MessageQueue = Rc<RefCell<VecDeque<Message>>>;
+
+/// Creates an empty message queue.
+#[must_use]
+pub fn message_queue() -> MessageQueue {
+    Rc::new(RefCell::new(VecDeque::new()))
+}
+
+/// One delivered flit, as recorded at the destination NI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlitDelivery {
+    /// The owning connection.
+    pub conn: ConnId,
+    /// Tag of the first payload word (message seq << 8 | word index).
+    pub tag: u64,
+    /// Destination-NI cycle at which the EoP word was sampled.
+    pub cycle: u64,
+    /// Absolute simulation time of that cycle.
+    pub time: SimTime,
+}
+
+/// The shared log of deliveries at a destination NI.
+pub type DeliveryLog = Rc<RefCell<Vec<FlitDelivery>>>;
+
+/// Creates an empty delivery log.
+#[must_use]
+pub fn delivery_log() -> DeliveryLog {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+/// Credit return channel: payload-word counts flowing back from a
+/// destination NI to the source NI.
+pub type CreditChannel = SharedBisync<u32>;
+
+/// Creates a credit channel with the given return delay.
+///
+/// Capacity is generous: credits are small counters, not buffered data.
+#[must_use]
+pub fn credit_channel(name: impl Into<String>, return_delay: SimDuration) -> CreditChannel {
+    SharedBisync::new(BisyncFifo::new(name, 4096, return_delay))
+}
+
+/// Per-connection source state inside an [`NiSource`].
+#[derive(Debug)]
+pub struct SourceConn {
+    /// The connection id (carried in headers).
+    pub conn: ConnId,
+    /// The full source route (as allocated).
+    pub route: Vec<aelite_spec::ids::Port>,
+    /// Slot-table entries owned by this connection.
+    pub inject_slots: Vec<u32>,
+    /// Message queue filled by the IP.
+    pub queue: MessageQueue,
+    /// Credit return channel from the destination NI.
+    pub credits_in: CreditChannel,
+    /// Initial credit (destination buffer size), in payload words.
+    pub initial_credit: u32,
+}
+
+#[derive(Debug)]
+struct SourceState {
+    credits: i64,
+    /// Words left of the message currently being sent.
+    current_msg: Option<(Message, u32)>,
+    flits_sent: u64,
+    words_sent: u64,
+}
+
+/// The sending half of an NI: slot table + packetisation + flow control.
+#[derive(Debug)]
+pub struct NiSource {
+    name: String,
+    output: Wire<LinkWord>,
+    table_size: u32,
+    flit_words: u32,
+    conns: Vec<SourceConn>,
+    state: Vec<SourceState>,
+    /// Slot owner lookup: `slot -> index into conns`.
+    slot_owner: Vec<Option<usize>>,
+    /// Words queued for the remaining cycles of the current slot.
+    pending: VecDeque<LinkWord>,
+}
+
+impl NiSource {
+    /// Builds a source NI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two connections claim the same slot (the allocation must
+    /// make NI-ingress slots exclusive) or a slot index is out of range.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        output: Wire<LinkWord>,
+        table_size: u32,
+        flit_words: u32,
+        conns: Vec<SourceConn>,
+    ) -> Self {
+        let mut slot_owner = vec![None; table_size as usize];
+        for (i, c) in conns.iter().enumerate() {
+            for &s in &c.inject_slots {
+                assert!(s < table_size, "slot {s} out of range for {}", c.conn);
+                assert!(
+                    slot_owner[s as usize].is_none(),
+                    "slot {s} claimed twice on one NI"
+                );
+                slot_owner[s as usize] = Some(i);
+            }
+        }
+        let state = conns
+            .iter()
+            .map(|c| SourceState {
+                credits: i64::from(c.initial_credit),
+                current_msg: None,
+                flits_sent: 0,
+                words_sent: 0,
+            })
+            .collect();
+        NiSource {
+            name: name.into(),
+            output,
+            table_size,
+            flit_words,
+            conns,
+            state,
+            slot_owner,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Flits sent so far on the `i`-th connection.
+    #[must_use]
+    pub fn flits_sent(&self, i: usize) -> u64 {
+        self.state[i].flits_sent
+    }
+
+    /// Current credit (payload words) of the `i`-th connection.
+    #[must_use]
+    pub fn credits(&self, i: usize) -> i64 {
+        self.state[i].credits
+    }
+}
+
+impl Module for NiSource {
+    type Value = LinkWord;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_edge(&mut self, ctx: &mut EdgeContext<'_, LinkWord>) {
+        let now = ctx.time();
+        let cycle = ctx.cycle();
+        // Collect returned credits.
+        for (i, c) in self.conns.iter().enumerate() {
+            while let Some(words) = c.credits_in.with(|f| f.pop_visible(now)) {
+                self.state[i].credits += i64::from(words);
+            }
+        }
+
+        // Continue an in-flight flit.
+        if let Some(word) = self.pending.pop_front() {
+            ctx.write(self.output, word);
+            return;
+        }
+
+        let phase = cycle % u64::from(self.flit_words);
+        if phase != 0 {
+            ctx.write(self.output, LinkWord::idle());
+            return;
+        }
+        let slot = ((cycle / u64::from(self.flit_words)) % u64::from(self.table_size)) as u32;
+        let Some(ci) = self.slot_owner[slot as usize] else {
+            ctx.write(self.output, LinkWord::idle());
+            return;
+        };
+
+        // Fetch the next message if idle.
+        let payload_capacity = self.flit_words - 1;
+        let st = &mut self.state[ci];
+        if st.current_msg.is_none() {
+            let msg = self.conns[ci]
+                .queue
+                .borrow_mut()
+                .front()
+                .copied()
+                .filter(|m| m.ready_cycle <= cycle);
+            if let Some(m) = msg {
+                self.conns[ci].queue.borrow_mut().pop_front();
+                st.current_msg = Some((m, m.words));
+            }
+        }
+        let Some((msg, remaining)) = st.current_msg else {
+            ctx.write(self.output, LinkWord::idle());
+            return;
+        };
+
+        // Flow control: only send what the destination can absorb.
+        let send_words = remaining.min(payload_capacity);
+        if i64::from(send_words) > st.credits {
+            // Back-pressure: the slot goes idle, the connection slows
+            // down, nobody else is affected (paper Section IV-A).
+            ctx.write(self.output, LinkWord::idle());
+            return;
+        }
+        st.credits -= i64::from(send_words);
+        st.flits_sent += 1;
+        st.words_sent += u64::from(send_words);
+        let left = remaining - send_words;
+        st.current_msg = if left > 0 { Some((msg, left)) } else { None };
+
+        // Emit the flit: header now, payload words on the next cycles.
+        let route = RouteBits::from_ports(&self.conns[ci].route);
+        ctx.write(self.output, LinkWord::head(route, self.conns[ci].conn));
+        let base_tag = (u64::from(msg.seq) << 8) | u64::from(msg.words - remaining);
+        for k in 0..send_words {
+            let eop = k + 1 == send_words;
+            self.pending.push_back(LinkWord::data(base_tag + u64::from(k), eop));
+        }
+        // Pad short flits with idle cycles (slot is still consumed).
+        for _ in send_words..payload_capacity {
+            self.pending.push_back(LinkWord::idle());
+        }
+    }
+}
+
+/// Per-connection receive state inside an [`NiSink`].
+#[derive(Debug)]
+pub struct SinkConn {
+    /// The connection id this queue serves.
+    pub conn: ConnId,
+    /// Shared delivery log (may be shared across connections).
+    pub log: DeliveryLog,
+    /// Credit return channel to the source NI.
+    pub credits_out: CreditChannel,
+    /// Consumer model: cycles between draining single words; 0 drains
+    /// instantly (credits return as soon as the flit lands).
+    pub drain_interval: u32,
+}
+
+#[derive(Debug)]
+struct SinkState {
+    /// Words buffered, waiting for the consumer.
+    buffered: VecDeque<u64>,
+    next_drain: u64,
+    flits_received: u64,
+    current_tag: Option<u64>,
+    words_in_flit: u32,
+}
+
+/// The receiving half of an NI: reassembles flits, drains to the consumer
+/// and returns credits.
+#[derive(Debug)]
+pub struct NiSink {
+    name: String,
+    input: Wire<LinkWord>,
+    conns: Vec<SinkConn>,
+    state: Vec<SinkState>,
+    /// Connection of the packet currently streaming in, if any.
+    active: Option<usize>,
+}
+
+impl NiSink {
+    /// Builds a sink NI receiving from `input`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input: Wire<LinkWord>, conns: Vec<SinkConn>) -> Self {
+        let state = conns
+            .iter()
+            .map(|_| SinkState {
+                buffered: VecDeque::new(),
+                next_drain: 0,
+                flits_received: 0,
+                current_tag: None,
+                words_in_flit: 0,
+            })
+            .collect();
+        NiSink {
+            name: name.into(),
+            input,
+            conns,
+            state,
+            active: None,
+        }
+    }
+
+    /// Flits received so far for the `i`-th connection.
+    #[must_use]
+    pub fn flits_received(&self, i: usize) -> u64 {
+        self.state[i].flits_received
+    }
+
+    fn conn_index(&self, conn: ConnId) -> usize {
+        self.conns
+            .iter()
+            .position(|c| c.conn == conn)
+            .unwrap_or_else(|| panic!("{}: unexpected packet for {conn}", self.name))
+    }
+}
+
+impl Module for NiSink {
+    type Value = LinkWord;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_edge(&mut self, ctx: &mut EdgeContext<'_, LinkWord>) {
+        let now = ctx.time();
+        let cycle = ctx.cycle();
+
+        // Drain consumers and return credits.
+        for (i, c) in self.conns.iter().enumerate() {
+            let st = &mut self.state[i];
+            if c.drain_interval == 0 {
+                let n = st.buffered.len() as u32;
+                if n > 0 {
+                    st.buffered.clear();
+                    c.credits_out.with(|f| f.push(now, n));
+                }
+            } else if cycle >= st.next_drain && !st.buffered.is_empty() {
+                st.buffered.pop_front();
+                c.credits_out.with(|f| f.push(now, 1));
+                st.next_drain = cycle + u64::from(c.drain_interval);
+            }
+        }
+
+        // Receive one word.
+        let word = ctx.read(self.input);
+        if !word.valid {
+            return;
+        }
+        match word.payload {
+            Payload::Head(h) => {
+                assert_eq!(
+                    h.route.remaining(),
+                    0,
+                    "{}: packet arrived with unconsumed route",
+                    self.name
+                );
+                let i = self.conn_index(h.conn);
+                self.state[i].words_in_flit = 0;
+                // Sentinel until the first data word supplies the tag.
+                self.state[i].current_tag = Some(u64::MAX);
+                self.active = Some(i);
+            }
+            Payload::Data(tag) => {
+                let i = self
+                    .active
+                    .unwrap_or_else(|| panic!("{}: data word with no open packet", self.name));
+                let st = &mut self.state[i];
+                if st.current_tag == Some(u64::MAX) {
+                    st.current_tag = Some(tag);
+                }
+                st.buffered.push_back(tag);
+                st.words_in_flit += 1;
+                if word.eop {
+                    st.flits_received += 1;
+                    let first = st.current_tag.take().unwrap_or(tag);
+                    self.conns[i].log.borrow_mut().push(FlitDelivery {
+                        conn: self.conns[i].conn,
+                        tag: first,
+                        cycle,
+                        time: now,
+                    });
+                    self.active = None;
+                }
+            }
+            Payload::Idle => {}
+        }
+    }
+}
+
+/// A constant-bit-rate IP traffic source feeding a [`MessageQueue`].
+///
+/// Pushes a `words_per_message` message every `interval_cycles`, starting
+/// at `offset_cycles` — the paper's evaluation regime where IPs offer
+/// exactly their contracted load.
+#[derive(Debug)]
+pub struct CbrSource {
+    name: String,
+    queue: MessageQueue,
+    words_per_message: u32,
+    interval_cycles: u64,
+    offset_cycles: u64,
+    seq: u32,
+    /// Stop after this many messages (u32::MAX = unbounded).
+    pub limit: u32,
+}
+
+impl CbrSource {
+    /// Creates a CBR source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval or message size is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        queue: MessageQueue,
+        words_per_message: u32,
+        interval_cycles: u64,
+        offset_cycles: u64,
+    ) -> Self {
+        assert!(interval_cycles > 0, "interval must be non-zero");
+        assert!(words_per_message > 0, "messages must carry data");
+        CbrSource {
+            name: name.into(),
+            queue,
+            words_per_message,
+            interval_cycles,
+            offset_cycles,
+            seq: 0,
+            limit: u32::MAX,
+        }
+    }
+}
+
+impl Module for CbrSource {
+    type Value = LinkWord;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_edge(&mut self, ctx: &mut EdgeContext<'_, LinkWord>) {
+        let cycle = ctx.cycle();
+        if cycle >= self.offset_cycles
+            && (cycle - self.offset_cycles) % self.interval_cycles == 0
+            && self.seq < self.limit
+        {
+            self.queue.borrow_mut().push_back(Message {
+                seq: self.seq,
+                words: self.words_per_message,
+                ready_cycle: cycle,
+            });
+            self.seq += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aelite_sim::clock::ClockSpec;
+    use aelite_sim::scheduler::Simulator;
+    use aelite_sim::time::{Frequency, SimTime};
+    const S: u32 = 8;
+
+    fn source_conn(
+        conn: u32,
+        slots: Vec<u32>,
+        queue: MessageQueue,
+        credits_in: CreditChannel,
+        credit: u32,
+    ) -> SourceConn {
+        SourceConn {
+            conn: ConnId::new(conn),
+            // Wired NI-to-NI in these tests: no router consumes hops, so
+            // the route is empty.
+            route: vec![],
+            inject_slots: slots,
+            queue,
+            credits_in,
+            initial_credit: credit,
+        }
+    }
+
+    /// NI source wired straight into an NI sink (no router between) —
+    /// enough to exercise packetisation, slots and credits.
+    struct Bench {
+        sim: Simulator<LinkWord>,
+        queue: MessageQueue,
+        log: DeliveryLog,
+    }
+
+    fn direct_bench(slots: Vec<u32>, credit: u32, drain_interval: u32) -> Bench {
+        let mut sim: Simulator<LinkWord> = Simulator::new();
+        let clk = sim.add_domain(ClockSpec::new(Frequency::from_mhz(500)));
+        let wire = sim.add_wire("ni2ni");
+        let queue = message_queue();
+        let log = delivery_log();
+        let credits = credit_channel("cr", SimDuration::ZERO);
+        let src = NiSource::new(
+            "src",
+            wire,
+            S,
+            3,
+            vec![source_conn(0, slots, Rc::clone(&queue), credits.clone(), credit)],
+        );
+        // The sink sees packets whose single-hop route was consumed by a
+        // router; emulate by building sources with an empty route.
+        let sink = NiSink::new(
+            "sink",
+            wire,
+            vec![SinkConn {
+                conn: ConnId::new(0),
+                log: Rc::clone(&log),
+                credits_out: credits,
+                drain_interval,
+            }],
+        );
+        sim.add_module(clk, src);
+        sim.add_module(clk, sink);
+        Bench { sim, queue, log }
+    }
+
+    #[test]
+    fn injects_only_in_reserved_slots() {
+        let mut b = direct_bench(vec![2], 100, 0);
+        b.queue.borrow_mut().push_back(Message {
+            seq: 0,
+            words: 2,
+            ready_cycle: 0,
+        });
+        b.sim.run_until(SimTime::from_ns(200));
+        let log = b.log.borrow();
+        assert_eq!(log.len(), 1);
+        // Slot 2 starts at cycle 6; header at 6, eop data at cycle 8,
+        // sink samples it at cycle 9.
+        assert_eq!(log[0].cycle, 9);
+    }
+
+    #[test]
+    fn multi_flit_message_uses_successive_slots() {
+        let mut b = direct_bench(vec![1, 5], 100, 0);
+        b.queue.borrow_mut().push_back(Message {
+            seq: 0,
+            words: 6, // 3 flits of 2 payload words
+            ready_cycle: 0,
+        });
+        b.sim.run_until(SimTime::from_ns(400));
+        let log = b.log.borrow();
+        assert_eq!(log.len(), 3);
+        // Slots 1, 5, 9(=1 mod 8): cycles 3,15,27 -> eop sampled +3.
+        assert_eq!(log[0].cycle, 6);
+        assert_eq!(log[1].cycle, 18);
+        assert_eq!(log[2].cycle, 30);
+    }
+
+    #[test]
+    fn credits_gate_injection() {
+        // Destination never drains (huge drain interval): after the
+        // initial credit is spent, the source must stop.
+        let mut b = direct_bench(vec![0, 1, 2, 3, 4, 5, 6, 7], 4, u32::MAX);
+        for seq in 0..10 {
+            b.queue.borrow_mut().push_back(Message {
+                seq,
+                words: 2,
+                ready_cycle: 0,
+            });
+        }
+        b.sim.run_until(SimTime::from_ns(1000));
+        let log = b.log.borrow();
+        // 4 credits / 2 words per flit = 2 flits, then back-pressure.
+        assert_eq!(log.len(), 2, "{log:?}");
+    }
+
+    #[test]
+    fn drained_credits_resume_injection() {
+        // Slow consumer: drains one word every 30 cycles; the connection
+        // proceeds at the drain rate instead of deadlocking.
+        let mut b = direct_bench(vec![0], 2, 30);
+        for seq in 0..4 {
+            b.queue.borrow_mut().push_back(Message {
+                seq,
+                words: 2,
+                ready_cycle: 0,
+            });
+        }
+        b.sim.run_until(SimTime::from_ns(4000));
+        assert_eq!(b.log.borrow().len(), 4);
+    }
+
+    #[test]
+    fn partial_flit_carries_short_message() {
+        let mut b = direct_bench(vec![0], 100, 0);
+        b.queue.borrow_mut().push_back(Message {
+            seq: 0,
+            words: 1,
+            ready_cycle: 0,
+        });
+        b.sim.run_until(SimTime::from_ns(100));
+        let log = b.log.borrow();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed twice")]
+    fn overlapping_slots_rejected() {
+        let mut sim: Simulator<LinkWord> = Simulator::new();
+        let wire = sim.add_wire("w");
+        let q = message_queue();
+        let cr = credit_channel("c", SimDuration::ZERO);
+        let _ = NiSource::new(
+            "src",
+            wire,
+            S,
+            3,
+            vec![
+                source_conn(0, vec![1], Rc::clone(&q), cr.clone(), 4),
+                source_conn(1, vec![1], q, cr, 4),
+            ],
+        );
+    }
+
+    #[test]
+    fn cbr_source_pushes_on_schedule() {
+        let mut sim: Simulator<LinkWord> = Simulator::new();
+        let clk = sim.add_domain(ClockSpec::new(Frequency::from_mhz(500)));
+        let q = message_queue();
+        sim.add_module(clk, CbrSource::new("cbr", Rc::clone(&q), 2, 10, 5));
+        sim.run_until(SimTime::from_ns(70)); // cycles 0..=35
+        let msgs: Vec<Message> = q.borrow().iter().copied().collect();
+        assert_eq!(msgs.len(), 4); // at cycles 5, 15, 25, 35
+        assert_eq!(msgs[0].ready_cycle, 5);
+        assert_eq!(msgs[3].ready_cycle, 35);
+        assert_eq!(msgs[1].seq, 1);
+    }
+}

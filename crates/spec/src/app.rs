@@ -1,0 +1,441 @@
+//! Applications, connections and the complete system specification.
+//!
+//! An *application* is a set of logical *connections* between IP ports that
+//! is developed and verified as a unit (paper Section I). aelite's central
+//! promise — composability — is that the timing of one application's
+//! connections is unaffected by every other application.
+
+use crate::config::NocConfig;
+use crate::ids::{AppId, ConnId, IpId, NiId};
+use crate::topology::Topology;
+use crate::traffic::{Bandwidth, TrafficPattern};
+use core::fmt;
+
+/// A logical connection between a source IP and a destination IP, with its
+/// guaranteed-service contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// Unique id within the system.
+    pub id: ConnId,
+    /// Owning application.
+    pub app: AppId,
+    /// Data-producing IP core.
+    pub src: IpId,
+    /// Data-consuming IP core.
+    pub dst: IpId,
+    /// Contracted minimum throughput.
+    pub bandwidth: Bandwidth,
+    /// Contracted maximum latency (injection at source NI to delivery at
+    /// destination NI) in nanoseconds.
+    pub max_latency_ns: u64,
+    /// Offered-load pattern used during simulation.
+    pub pattern: TrafficPattern,
+    /// Message size in bytes used by the traffic generator.
+    pub message_bytes: u32,
+}
+
+impl fmt::Display for Connection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {} -> {}, {}, <= {} ns",
+            self.id, self.app, self.src, self.dst, self.bandwidth, self.max_latency_ns
+        )
+    }
+}
+
+/// An application: a named group of connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Application {
+    /// Unique id within the system.
+    pub id: AppId,
+    /// Human-readable name (e.g. "video decoder").
+    pub name: String,
+}
+
+impl fmt::Display for Application {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id, self.name)
+    }
+}
+
+/// A complete system specification: platform + mapping + use cases.
+///
+/// This is the input to the allocation flow ([`aelite-alloc`]) and, after
+/// allocation, to the simulators.
+///
+/// [`aelite-alloc`]: https://docs.rs/aelite-alloc
+///
+/// # Examples
+///
+/// ```
+/// use aelite_spec::app::SystemSpecBuilder;
+/// use aelite_spec::config::NocConfig;
+/// use aelite_spec::topology::Topology;
+/// use aelite_spec::traffic::Bandwidth;
+///
+/// let topo = Topology::mesh(2, 2, 1);
+/// let nis: Vec<_> = topo.nis().collect();
+/// let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+/// let app = b.add_app("camera pipeline");
+/// let cam = b.add_ip_at(nis[0]);
+/// let mem = b.add_ip_at(nis[3]);
+/// b.add_connection(app, cam, mem, Bandwidth::from_mbytes_per_sec(100), 500);
+/// let spec = b.build();
+/// assert_eq!(spec.connections().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    topology: Topology,
+    config: NocConfig,
+    apps: Vec<Application>,
+    connections: Vec<Connection>,
+    /// NI hosting each IP, indexed by `IpId`.
+    mapping: Vec<NiId>,
+}
+
+impl SystemSpec {
+    /// The platform topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The NoC-wide configuration.
+    #[must_use]
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// All applications.
+    #[must_use]
+    pub fn apps(&self) -> &[Application] {
+        &self.apps
+    }
+
+    /// All connections, indexable by [`ConnId::index`](crate::ids::ConnId).
+    #[must_use]
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// The connection with id `id`.
+    ///
+    /// Connections keep their global ids even in specs produced by
+    /// [`restricted_to`](Self::restricted_to), so this performs a binary
+    /// search by id rather than a positional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this spec.
+    #[must_use]
+    pub fn connection(&self, id: ConnId) -> &Connection {
+        let i = self
+            .connections
+            .binary_search_by_key(&id, |c| c.id)
+            .unwrap_or_else(|_| panic!("{id} not in this spec"));
+        &self.connections[i]
+    }
+
+    /// The largest connection id plus one — the size needed for dense
+    /// per-connection arrays that stay valid across restricted specs.
+    #[must_use]
+    pub fn conn_id_bound(&self) -> usize {
+        self.connections
+            .iter()
+            .map(|c| c.id.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of IP cores.
+    #[must_use]
+    pub fn ip_count(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// The NI hosting `ip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ip` does not belong to this spec.
+    #[must_use]
+    pub fn ip_ni(&self, ip: IpId) -> NiId {
+        self.mapping[ip.index()]
+    }
+
+    /// The connections belonging to `app`.
+    pub fn app_connections(&self, app: AppId) -> impl Iterator<Item = &Connection> + '_ {
+        self.connections.iter().filter(move |c| c.app == app)
+    }
+
+    /// A copy of this spec containing only the connections of `apps` —
+    /// used by the composability experiments to run applications in
+    /// isolation while keeping ids stable.
+    ///
+    /// Connection ids are preserved (they keep their global index), so
+    /// per-connection results of the restricted and full systems can be
+    /// compared directly.
+    #[must_use]
+    pub fn restricted_to(&self, apps: &[AppId]) -> SystemSpec {
+        let mut copy = self.clone();
+        copy.connections.retain(|c| apps.contains(&c.app));
+        copy
+    }
+
+    /// Total contracted bandwidth entering the NoC.
+    #[must_use]
+    pub fn total_bandwidth(&self) -> Bandwidth {
+        self.connections.iter().map(|c| c.bandwidth).sum()
+    }
+
+    /// A copy of this spec at a different operating frequency — used by
+    /// the frequency sweeps of the evaluation (requirements, topology and
+    /// mapping are unchanged; slot bandwidths scale with the clock).
+    #[must_use]
+    pub fn at_frequency(&self, frequency_mhz: u64) -> SystemSpec {
+        let mut copy = self.clone();
+        copy.config = copy.config.at_frequency(frequency_mhz);
+        copy
+    }
+}
+
+/// Builder for [`SystemSpec`].
+#[derive(Debug)]
+pub struct SystemSpecBuilder {
+    topology: Topology,
+    config: NocConfig,
+    apps: Vec<Application>,
+    connections: Vec<Connection>,
+    mapping: Vec<NiId>,
+}
+
+impl SystemSpecBuilder {
+    /// Starts a spec on the given platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`NocConfig::validate`].
+    #[must_use]
+    pub fn new(topology: Topology, config: NocConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid NoC configuration: {e}");
+        }
+        SystemSpecBuilder {
+            topology,
+            config,
+            apps: Vec::new(),
+            connections: Vec::new(),
+            mapping: Vec::new(),
+        }
+    }
+
+    /// The platform topology (for choosing NIs while building).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Registers an application.
+    pub fn add_app(&mut self, name: impl Into<String>) -> AppId {
+        let id = AppId::new(self.apps.len() as u32);
+        self.apps.push(Application {
+            id,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Places a new IP core on `ni`.
+    ///
+    /// Several IPs may share one NI (the paper's platform maps 70 IPs onto
+    /// 48 NIs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ni` is not part of the topology.
+    pub fn add_ip_at(&mut self, ni: NiId) -> IpId {
+        assert!(
+            ni.index() < self.topology.ni_count(),
+            "{ni} is not part of the topology"
+        );
+        let id = IpId::new(self.mapping.len() as u32);
+        self.mapping.push(ni);
+        id
+    }
+
+    /// Adds a constant-rate connection with a 16-byte message size.
+    ///
+    /// Use [`add_connection_with`](Self::add_connection_with) for full
+    /// control.
+    pub fn add_connection(
+        &mut self,
+        app: AppId,
+        src: IpId,
+        dst: IpId,
+        bandwidth: Bandwidth,
+        max_latency_ns: u64,
+    ) -> ConnId {
+        self.add_connection_with(
+            app,
+            src,
+            dst,
+            bandwidth,
+            max_latency_ns,
+            TrafficPattern::ConstantRate,
+            16,
+        )
+    }
+
+    /// Adds a connection with an explicit traffic pattern and message size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app`, `src` or `dst` were not created by this builder,
+    /// if `src == dst` maps an IP onto itself, or if `message_bytes` is 0.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_connection_with(
+        &mut self,
+        app: AppId,
+        src: IpId,
+        dst: IpId,
+        bandwidth: Bandwidth,
+        max_latency_ns: u64,
+        pattern: TrafficPattern,
+        message_bytes: u32,
+    ) -> ConnId {
+        assert!(app.index() < self.apps.len(), "unknown {app}");
+        assert!(src.index() < self.mapping.len(), "unknown source {src}");
+        assert!(dst.index() < self.mapping.len(), "unknown destination {dst}");
+        assert!(src != dst, "connection endpoints must differ ({src})");
+        assert!(message_bytes > 0, "message size must be non-zero");
+        let id = ConnId::new(self.connections.len() as u32);
+        self.connections.push(Connection {
+            id,
+            app,
+            src,
+            dst,
+            bandwidth,
+            max_latency_ns,
+            pattern,
+            message_bytes,
+        });
+        id
+    }
+
+    /// The NI hosting an already-placed IP (used by the workload
+    /// generator while the spec is still under construction).
+    pub(crate) fn mapping_for(&self, ip: IpId) -> NiId {
+        self.mapping[ip.index()]
+    }
+
+    /// Finalises the specification.
+    #[must_use]
+    pub fn build(self) -> SystemSpec {
+        SystemSpec {
+            topology: self.topology,
+            config: self.config,
+            apps: self.apps,
+            connections: self.connections,
+            mapping: self.mapping,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NiId;
+
+    fn tiny_spec() -> SystemSpec {
+        let topo = Topology::mesh(2, 1, 2);
+        let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+        let a0 = b.add_app("app0");
+        let a1 = b.add_app("app1");
+        let ip0 = b.add_ip_at(NiId::new(0));
+        let ip1 = b.add_ip_at(NiId::new(2));
+        let ip2 = b.add_ip_at(NiId::new(3));
+        b.add_connection(a0, ip0, ip1, Bandwidth::from_mbytes_per_sec(100), 400);
+        b.add_connection(a0, ip1, ip0, Bandwidth::from_mbytes_per_sec(50), 300);
+        b.add_connection(a1, ip0, ip2, Bandwidth::from_mbytes_per_sec(20), 500);
+        b.build()
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let spec = tiny_spec();
+        assert_eq!(spec.apps().len(), 2);
+        assert_eq!(spec.connections().len(), 3);
+        assert_eq!(spec.ip_count(), 3);
+        assert_eq!(spec.connection(ConnId::new(1)).bandwidth.mbytes_per_sec_f64(), 50.0);
+    }
+
+    #[test]
+    fn mapping_resolves_ips_to_nis() {
+        let spec = tiny_spec();
+        assert_eq!(spec.ip_ni(IpId::new(0)), NiId::new(0));
+        assert_eq!(spec.ip_ni(IpId::new(2)), NiId::new(3));
+    }
+
+    #[test]
+    fn app_connections_filters_by_app() {
+        let spec = tiny_spec();
+        assert_eq!(spec.app_connections(AppId::new(0)).count(), 2);
+        assert_eq!(spec.app_connections(AppId::new(1)).count(), 1);
+    }
+
+    #[test]
+    fn restricted_to_preserves_ids() {
+        let spec = tiny_spec();
+        let only_a1 = spec.restricted_to(&[AppId::new(1)]);
+        assert_eq!(only_a1.connections().len(), 1);
+        assert_eq!(only_a1.connections()[0].id, ConnId::new(2));
+        // Platform unchanged.
+        assert_eq!(only_a1.topology().router_count(), 2);
+    }
+
+    #[test]
+    fn total_bandwidth_sums_contracts() {
+        let spec = tiny_spec();
+        assert_eq!(
+            spec.total_bandwidth(),
+            Bandwidth::from_mbytes_per_sec(170)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn self_connection_rejected() {
+        let topo = Topology::mesh(1, 1, 1);
+        let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+        let a = b.add_app("a");
+        let ip = b.add_ip_at(NiId::new(0));
+        b.add_connection(a, ip, ip, Bandwidth::ZERO, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the topology")]
+    fn ip_on_unknown_ni_rejected() {
+        let topo = Topology::mesh(1, 1, 1);
+        let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+        let _ = b.add_ip_at(NiId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source")]
+    fn unknown_ip_rejected() {
+        let topo = Topology::mesh(1, 1, 2);
+        let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+        let a = b.add_app("a");
+        let dst = b.add_ip_at(NiId::new(0));
+        b.add_connection(a, IpId::new(9), dst, Bandwidth::ZERO, 100);
+    }
+
+    #[test]
+    fn connection_display_mentions_contract() {
+        let spec = tiny_spec();
+        let s = spec.connection(ConnId::new(0)).to_string();
+        assert!(s.contains("100.000 MB/s"), "{s}");
+        assert!(s.contains("400 ns"), "{s}");
+    }
+}

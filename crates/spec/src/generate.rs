@@ -1,0 +1,413 @@
+//! Seeded random workload generation, including the paper's Section VII
+//! experiment platform.
+//!
+//! The paper evaluates aelite with "a NoC with 200 connections, divided
+//! across four different applications. The throughput and latency for the
+//! connections is randomly chosen, and range from 10 to 500 Mbyte/s and 35
+//! to 500 ns, respectively. With a total of 70 IPs, mapped to a 4×3 mesh
+//! with 4 NIs per router". [`paper_workload`] regenerates exactly that
+//! setup from a seed.
+//!
+//! Because the paper does not publish its random draw, we make two choices
+//! and record them here (and in `DESIGN.md`):
+//!
+//! 1. **Log-uniform bandwidths.** A uniform draw over 10–500 MB/s gives an
+//!    aggregate demand (~51 GB/s) that exceeds the platform's NI ingress
+//!    capacity, so the authors' accepted workload cannot have been uniform
+//!    at that size. A log-uniform draw (most connections light, a few
+//!    heavy) matches typical SoC traffic and fits the platform.
+//! 2. **Feasibility-aware draws.** Every candidate connection is charged
+//!    an estimated slot count (the larger of its bandwidth minimum and the
+//!    slots its deadline forces) against a per-link budget along its XY
+//!    route, and redrawn if any link would exceed the budget. Latency
+//!    requirements are clamped to what any allocator could physically
+//!    achieve for the drawn path (pipeline delay plus a 2-slot gap).
+
+use crate::app::{SystemSpec, SystemSpecBuilder};
+use crate::config::NocConfig;
+use crate::ids::{IpId, NiId};
+use crate::topology::Topology;
+use crate::traffic::Bandwidth;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a random workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of applications to divide the connections across.
+    pub apps: u32,
+    /// Number of connections to draw.
+    pub connections: u32,
+    /// Number of IP cores to place (round-robin over NIs, then random).
+    pub ips: u32,
+    /// Minimum contracted bandwidth in MB/s.
+    pub bw_min_mb: u64,
+    /// Maximum contracted bandwidth in MB/s.
+    pub bw_max_mb: u64,
+    /// Minimum latency requirement in ns (clamped up if infeasible).
+    pub lat_min_ns: u64,
+    /// Maximum latency requirement in ns.
+    pub lat_max_ns: u64,
+    /// Message size used by the traffic generators, in bytes.
+    pub message_bytes: u32,
+    /// Per-NI slot budget as a fraction of the slot table that the random
+    /// draw may commit (leaving headroom for allocation inefficiency).
+    pub ni_load_cap: f64,
+}
+
+impl WorkloadParams {
+    /// The paper's Section VII experiment parameters.
+    #[must_use]
+    pub fn paper() -> Self {
+        WorkloadParams {
+            apps: 4,
+            connections: 200,
+            ips: 70,
+            bw_min_mb: 10,
+            bw_max_mb: 500,
+            lat_min_ns: 35,
+            lat_max_ns: 500,
+            message_bytes: 64,
+            ni_load_cap: 0.6,
+        }
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams::paper()
+    }
+}
+
+/// Generates the paper's experiment: 4×3 concentrated mesh (4 NIs per
+/// router), 70 IPs, 4 applications, 200 random connections.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use aelite_spec::generate::paper_workload;
+///
+/// let spec = paper_workload(42);
+/// assert_eq!(spec.connections().len(), 200);
+/// assert_eq!(spec.ip_count(), 70);
+/// assert_eq!(spec.apps().len(), 4);
+/// assert_eq!(spec.topology().router_count(), 12);
+/// ```
+#[must_use]
+pub fn paper_workload(seed: u64) -> SystemSpec {
+    let topo = Topology::mesh(4, 3, 4);
+    random_workload(topo, NocConfig::paper_default(), WorkloadParams::paper(), seed)
+}
+
+/// Generates a random workload on an arbitrary platform.
+///
+/// See the [module documentation](self) for the draw's feasibility rules.
+///
+/// # Panics
+///
+/// Panics if `params` asks for fewer than 2 IPs (no connection can be
+/// drawn), zero connections/apps, or a bandwidth range with
+/// `bw_min_mb > bw_max_mb`.
+#[must_use]
+pub fn random_workload(
+    topo: Topology,
+    config: NocConfig,
+    params: WorkloadParams,
+    seed: u64,
+) -> SystemSpec {
+    assert!(params.ips >= 2, "need at least two IPs");
+    assert!(params.apps >= 1, "need at least one application");
+    assert!(params.connections >= 1, "need at least one connection");
+    assert!(
+        params.bw_min_mb <= params.bw_max_mb && params.bw_min_mb > 0,
+        "invalid bandwidth range"
+    );
+    assert!(
+        params.lat_min_ns <= params.lat_max_ns,
+        "invalid latency range"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ni_count = topo.ni_count() as u32;
+    let mut b = SystemSpecBuilder::new(topo, config);
+
+    let apps: Vec<_> = (0..params.apps)
+        .map(|i| b.add_app(format!("app{i}")))
+        .collect();
+
+    // Spread IPs over NIs: one per NI round-robin first, extras random.
+    let mut ips: Vec<IpId> = Vec::with_capacity(params.ips as usize);
+    for i in 0..params.ips {
+        let ni = if i < ni_count {
+            NiId::new(i)
+        } else {
+            NiId::new(rng.gen_range(0..ni_count))
+        };
+        ips.push(b.add_ip_at(ni));
+    }
+
+    // Remaining slot budget per directed link. A connection consumes its
+    // estimated slot count on every link of its XY route; drawing against
+    // this budget keeps the workload allocatable (see module docs).
+    let link_budget =
+        (f64::from(config.slot_table_size) * params.ni_load_cap).floor() as i64;
+    let mut link_left = vec![link_budget; b.topology().link_count()];
+
+    for c in 0..params.connections {
+        // Log-uniform bandwidth in [bw_min, bw_max] MB/s.
+        let (lo, hi) = (params.bw_min_mb as f64, params.bw_max_mb as f64);
+        let mut accepted = None;
+        for _attempt in 0..5_000 {
+            let bw_mb = (lo.ln() + rng.gen::<f64>() * (hi.ln() - lo.ln())).exp();
+            let bw = Bandwidth::from_bytes_per_sec((bw_mb * 1e6) as u64);
+            let src = ips[rng.gen_range(0..ips.len())];
+            let dst = ips[rng.gen_range(0..ips.len())];
+            if src == dst {
+                continue;
+            }
+            let (sni, dni) = (b.spec_ni(src), b.spec_ni(dst));
+            if sni == dni {
+                continue; // keep all traffic on the network, as in the paper
+            }
+
+            // Per-flit pipeline delay along the XY route: one slot per
+            // link (plus pipeline stages) across hops+2 links.
+            let n_links = u64::from(router_hops(b.topology(), sni, dni) + 2);
+            let pipeline_cycles =
+                n_links * u64::from(config.slots_per_hop()) * u64::from(config.flit_words);
+
+            // Latency requirement: drawn, then clamped so that at least a
+            // 2-slot injection gap remains physically achievable.
+            let floor_cycles = pipeline_cycles + 2 * u64::from(config.slot_cycles());
+            let floor_ns = (floor_cycles as f64 * config.cycle_ns()).ceil() as u64;
+            let drawn = rng.gen_range(params.lat_min_ns..=params.lat_max_ns);
+            let lat = drawn.max(floor_ns);
+
+            // Slots this connection will need: the bandwidth minimum, or
+            // more when the deadline forces a tighter injection gap
+            // (mirrors the allocator's latency-aware slot addition).
+            let budget_cycles = (lat as f64 / config.cycle_ns()).floor() as u64;
+            let wait_cycles = budget_cycles.saturating_sub(pipeline_cycles);
+            let allowed_gap = (wait_cycles / u64::from(config.slot_cycles())).max(1) as u32;
+            let lat_slots = config.slot_table_size.div_ceil(allowed_gap);
+            let est = i64::from(config.slots_for(bw).max(lat_slots).max(1));
+
+            // Reject draws whose deadline would monopolise the table: a
+            // connection may claim at most a quarter of the slots. Tight
+            // deadlines therefore only survive on short paths or get
+            // redrawn — keeping each requirement individually honourable.
+            if est > i64::from(config.slot_table_size / 4) {
+                continue;
+            }
+
+            // Budget check along the XY route.
+            let links = xy_links(b.topology(), sni, dni);
+            if links.iter().any(|&l| link_left[l] < est) {
+                continue;
+            }
+            for &l in &links {
+                link_left[l] -= est;
+            }
+            accepted = Some((src, dst, bw, lat));
+            break;
+        }
+        let (src, dst, bw, lat) = accepted.unwrap_or_else(|| {
+            panic!("could not draw a feasible connection #{c}; lower the load")
+        });
+
+        let app = apps[(c % params.apps) as usize];
+        b.add_connection_with(
+            app,
+            src,
+            dst,
+            bw,
+            lat,
+            crate::traffic::TrafficPattern::ConstantRate,
+            params.message_bytes,
+        );
+    }
+    b.build()
+}
+
+/// Router-to-router hop count between the routers of two NIs (Manhattan on
+/// meshes, 1 for distinct routers otherwise).
+fn router_hops(topo: &Topology, a: NiId, b: NiId) -> u32 {
+    let (ra, rb) = (topo.ni_router(a), topo.ni_router(b));
+    match (topo.coords(ra), topo.coords(rb)) {
+        (Some((xa, ya)), Some((xb, yb))) => xa.abs_diff(xb) + ya.abs_diff(yb),
+        _ => u32::from(ra != rb),
+    }
+}
+
+/// The link indices of the XY route from `a` to `b`: NI ingress, one link
+/// per router hop, and the egress into `b`. Falls back to just the NI
+/// links on non-mesh topologies.
+fn xy_links(topo: &Topology, a: NiId, b: NiId) -> Vec<usize> {
+    use crate::topology::PortTarget;
+    let mut links = vec![topo.ni_ingress_link(a).index()];
+    let mut router = topo.ni_router(a);
+    let goal = topo.ni_router(b);
+    if let (Some((mut x, mut y)), Some((tx, ty))) = (topo.coords(router), topo.coords(goal)) {
+        while x != tx {
+            let nx = if x < tx { x + 1 } else { x - 1 };
+            let next = topo.router_at(nx, y).expect("mesh neighbour");
+            let port = topo
+                .port_towards(router, PortTarget::Router(next))
+                .expect("mesh port");
+            links.push(topo.out_link(router, port).expect("mesh link").index());
+            router = next;
+            x = nx;
+        }
+        while y != ty {
+            let ny = if y < ty { y + 1 } else { y - 1 };
+            let next = topo.router_at(x, ny).expect("mesh neighbour");
+            let port = topo
+                .port_towards(router, PortTarget::Router(next))
+                .expect("mesh port");
+            links.push(topo.out_link(router, port).expect("mesh link").index());
+            router = next;
+            y = ny;
+        }
+    }
+    links.push(topo.ni_egress_link(b).index());
+    links
+}
+
+impl SystemSpecBuilder {
+    /// The NI an already-placed IP sits on (helper for the generator).
+    fn spec_ni(&self, ip: IpId) -> NiId {
+        // The builder's mapping is private to `app.rs`; expose through a
+        // crate-internal accessor.
+        self.mapping_for(ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AppId;
+
+    #[test]
+    fn paper_workload_matches_paper_counts() {
+        let spec = paper_workload(1);
+        assert_eq!(spec.connections().len(), 200);
+        assert_eq!(spec.ip_count(), 70);
+        assert_eq!(spec.apps().len(), 4);
+        assert_eq!(spec.topology().router_count(), 12);
+        assert_eq!(spec.topology().ni_count(), 48);
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let a = paper_workload(7);
+        let b = paper_workload(7);
+        assert_eq!(a.connections(), b.connections());
+        let c = paper_workload(8);
+        assert_ne!(a.connections(), c.connections());
+    }
+
+    #[test]
+    fn bandwidths_stay_in_range() {
+        let spec = paper_workload(3);
+        for c in spec.connections() {
+            let mb = c.bandwidth.mbytes_per_sec_f64();
+            assert!((10.0..=500.0).contains(&mb), "{mb} MB/s out of range");
+        }
+    }
+
+    #[test]
+    fn latencies_stay_in_range_and_feasible() {
+        let spec = paper_workload(3);
+        let cfg = spec.config();
+        for c in spec.connections() {
+            assert!(c.max_latency_ns >= 35, "{}", c.max_latency_ns);
+            // Clamping may exceed 500 only when the physical floor demands
+            // it; the floor on a 4x3 mesh is well under 100 ns at 500 MHz.
+            assert!(c.max_latency_ns <= 500, "{}", c.max_latency_ns);
+            let _ = cfg;
+        }
+    }
+
+    #[test]
+    fn connections_divide_across_apps_roughly_evenly() {
+        let spec = paper_workload(5);
+        for app in 0..4 {
+            assert_eq!(spec.app_connections(AppId::new(app)).count(), 50);
+        }
+    }
+
+    #[test]
+    fn no_connection_stays_on_one_ni() {
+        let spec = paper_workload(11);
+        for c in spec.connections() {
+            assert_ne!(spec.ip_ni(c.src), spec.ip_ni(c.dst), "{c}");
+        }
+    }
+
+    #[test]
+    fn ni_slot_budget_respected_by_draw() {
+        // The per-link budget implies a per-NI bandwidth-slot budget on
+        // the ingress and egress links (est >= bandwidth slots).
+        let spec = paper_workload(13);
+        let cfg = spec.config();
+        let cap = (f64::from(cfg.slot_table_size) * 0.6).floor() as i64;
+        let mut ingress = vec![0i64; spec.topology().ni_count()];
+        let mut egress = vec![0i64; spec.topology().ni_count()];
+        for c in spec.connections() {
+            ingress[spec.ip_ni(c.src).index()] += i64::from(cfg.slots_for(c.bandwidth));
+            egress[spec.ip_ni(c.dst).index()] += i64::from(cfg.slots_for(c.bandwidth));
+        }
+        for ni in 0..spec.topology().ni_count() {
+            assert!(ingress[ni] <= cap, "NI{ni} ingress {} > {cap}", ingress[ni]);
+            assert!(egress[ni] <= cap, "NI{ni} egress {} > {cap}", egress[ni]);
+        }
+    }
+
+    #[test]
+    fn latencies_clear_physical_floor() {
+        let spec = paper_workload(21);
+        let cfg = spec.config();
+        for c in spec.connections() {
+            // Even the tightest deadline leaves room for the pipeline and
+            // a 2-slot injection gap on *some* path (the XY route).
+            assert!(
+                c.max_latency_ns as f64
+                    >= (2.0 * cfg.slot_cycles() as f64 + 2.0 * cfg.flit_words as f64)
+                        * cfg.cycle_ns(),
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_custom_workload() {
+        let topo = Topology::mesh(2, 2, 1);
+        let params = WorkloadParams {
+            apps: 2,
+            connections: 6,
+            ips: 4,
+            bw_min_mb: 5,
+            bw_max_mb: 40,
+            lat_min_ns: 100,
+            lat_max_ns: 900,
+            message_bytes: 32,
+            ni_load_cap: 0.9,
+        };
+        let spec = random_workload(topo, NocConfig::paper_default(), params, 99);
+        assert_eq!(spec.connections().len(), 6);
+        assert_eq!(spec.apps().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two IPs")]
+    fn single_ip_rejected() {
+        let topo = Topology::mesh(1, 1, 1);
+        let params = WorkloadParams {
+            ips: 1,
+            ..WorkloadParams::paper()
+        };
+        let _ = random_workload(topo, NocConfig::paper_default(), params, 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Design-space exploration with the synthesis models: pick a router
+//! configuration for a bandwidth target and price the mesochronous
+//! option — the paper's Section VII cost discussion as a tool.
+//!
+//! Run with: `cargo run --example design_space`
+
+use aelite_synth::compare::GsBeComparison;
+use aelite_synth::components::{router_with_links_area_um2, FifoKind};
+use aelite_synth::router::{
+    aggregate_throughput_gbytes, router_max_frequency_mhz, synthesize, synthesize_max,
+    RouterParams,
+};
+use aelite_synth::tech::LayoutDerate;
+
+fn main() {
+    // Requirement: a concentrated-topology router moving >= 40 GB/s
+    // aggregate, as cheaply as possible.
+    let target_gbytes = 40.0;
+    println!("target: {target_gbytes} GB/s aggregate per router\n");
+    println!(
+        "{:>5} {:>6} {:>10} {:>10} {:>12} {:>10}",
+        "arity", "width", "f_max MHz", "GB/s", "area um2", "meets?"
+    );
+
+    let mut best: Option<(RouterParams, f64)> = None;
+    for arity in [4u32, 5, 6, 7] {
+        for width in [32u32, 64, 128] {
+            let p = RouterParams::symmetric(arity, width);
+            let r = synthesize_max(&p);
+            let gbps = aggregate_throughput_gbytes(&p, r.achieved_mhz);
+            let meets = gbps >= target_gbytes;
+            println!(
+                "{arity:>5} {width:>6} {:>10.0} {gbps:>10.1} {:>12.0} {meets:>10}",
+                r.achieved_mhz, r.area_um2
+            );
+            if meets && best.as_ref().is_none_or(|(_, a)| r.area_um2 < *a) {
+                best = Some((p, r.area_um2));
+            }
+        }
+    }
+    let (pick, area) = best.expect("some configuration meets the target");
+    println!("\ncheapest configuration meeting the target: {pick} at {area:.0} um2");
+
+    // Price the physical-scalability options for the chosen router.
+    println!("\nphysical organisation options for {pick}:");
+    let sync = synthesize(&pick, 500.0);
+    println!("  synchronous (global clock):      {:>8.0} um2", sync.area_um2);
+    let meso_custom = router_with_links_area_um2(&pick, FifoKind::Custom);
+    println!("  mesochronous, custom FIFOs [18]: {meso_custom:>8.0} um2");
+    let meso_std = router_with_links_area_um2(&pick, FifoKind::StandardCell);
+    println!("  mesochronous, std-cell FIFOs [4]:{meso_std:>8.0} um2");
+
+    // Post-layout expectations (the paper's derating).
+    let derate = LayoutDerate::paper();
+    let fmax = router_max_frequency_mhz(&pick);
+    println!(
+        "\npost-layout estimate: {:.0} um2 silicon, ~{:.0} MHz",
+        derate.layout_area_um2(meso_custom),
+        derate.layout_frequency_mhz(fmax)
+    );
+
+    // And the headline cost argument vs a combined GS+BE design.
+    let cmp = GsBeComparison::for_params(&RouterParams::paper_reference());
+    println!(
+        "\nGS-only pays off: {:.1}x smaller and {:.1}x faster than the \
+         combined GS+BE Aethereal router (90 nm)",
+        cmp.area_ratio(),
+        cmp.frequency_ratio()
+    );
+}

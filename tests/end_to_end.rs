@@ -1,0 +1,220 @@
+//! End-to-end integration: the complete paper workflow on the Section VII
+//! platform, crossing every crate of the workspace.
+
+use aelite_baseline::{BeConfig, BeSim};
+use aelite_core::{measured_services_be, AeliteSystem, SimOptions};
+use aelite_analysis::service::verify_service;
+use aelite_spec::generate::{paper_workload, random_workload, WorkloadParams};
+use aelite_spec::ids::AppId;
+use aelite_spec::topology::Topology;
+use aelite_spec::NocConfig;
+
+const DURATION: u64 = 60_000;
+
+fn quick() -> SimOptions {
+    SimOptions {
+        duration_cycles: DURATION,
+        ..SimOptions::default()
+    }
+}
+
+#[test]
+fn paper_headline_gs_meets_all_contracts() {
+    let system = AeliteSystem::design(paper_workload(42)).expect("designs");
+    let outcome = system.simulate(quick());
+    assert!(outcome.service.all_ok());
+    assert_eq!(outcome.service.verdicts.len(), 200);
+    // Every measured max stays within the analytical bound too.
+    for v in &outcome.service.verdicts {
+        assert!(v.within_bound, "{v}");
+    }
+}
+
+#[test]
+fn paper_headline_composability_end_to_end() {
+    let system = AeliteSystem::design(paper_workload(7)).expect("designs");
+    let result = system.verify_composability(SimOptions {
+        duration_cycles: 30_000,
+        ..SimOptions::default()
+    });
+    assert!(result.is_composable(), "{result}");
+}
+
+#[test]
+fn paper_headline_be_interferes_and_violates() {
+    let spec = paper_workload(42);
+    let report = BeSim::new(&spec).run(BeConfig {
+        duration_cycles: DURATION,
+        ..BeConfig::default()
+    });
+    let service = verify_service(
+        &spec,
+        None,
+        &measured_services_be(&report),
+        DURATION,
+        0.05,
+    );
+    assert!(
+        !service.all_ok(),
+        "best effort should violate tight contracts at 500 MHz"
+    );
+}
+
+#[test]
+fn multiple_seeds_design_and_verify() {
+    for seed in [1u64, 13, 99] {
+        let system = AeliteSystem::design(paper_workload(seed))
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let outcome = system.simulate(SimOptions {
+            duration_cycles: 30_000,
+            ..SimOptions::default()
+        });
+        assert!(outcome.service.all_ok(), "seed {seed}");
+    }
+}
+
+#[test]
+fn app_developed_in_isolation_then_integrated() {
+    // The functional-scalability story: verify app 3 alone, integrate,
+    // verify the full system — app 3's verdicts are unchanged.
+    let system = AeliteSystem::design(paper_workload(21)).expect("designs");
+    let alone = system.simulate_apps(&[AppId::new(3)], quick());
+    assert!(alone.service.all_ok());
+    let full = system.simulate(quick());
+    for v in &alone.service.verdicts {
+        let integrated = full.service.verdict(v.conn);
+        assert_eq!(
+            v.max_latency_ns, integrated.max_latency_ns,
+            "{}: integration changed the measured worst case",
+            v.conn
+        );
+    }
+}
+
+#[test]
+fn smaller_platform_full_flow() {
+    // The whole flow also works on a non-paper platform.
+    let topo = Topology::mesh(3, 3, 2);
+    let params = WorkloadParams {
+        apps: 3,
+        connections: 40,
+        ips: 18,
+        bw_min_mb: 5,
+        bw_max_mb: 200,
+        lat_min_ns: 60,
+        lat_max_ns: 800,
+        message_bytes: 32,
+        ni_load_cap: 0.5,
+    };
+    let spec = random_workload(topo, NocConfig::paper_default(), params, 5);
+    let system = AeliteSystem::design(spec).expect("designs");
+    let outcome = system.simulate(quick());
+    assert!(outcome.service.all_ok());
+    let comp = system.verify_composability(SimOptions {
+        duration_cycles: 20_000,
+        ..SimOptions::default()
+    });
+    assert!(comp.is_composable());
+}
+
+#[test]
+fn ring_topology_full_flow() {
+    // aelite on a non-mesh interconnect: BFS routing, allocation,
+    // simulation and composability all work without mesh coordinates.
+    use aelite_spec::app::SystemSpecBuilder;
+    use aelite_spec::traffic::Bandwidth;
+
+    let topo = Topology::ring(6, 1);
+    let nis: Vec<_> = topo.nis().collect();
+    let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+    let a0 = b.add_app("even");
+    let a1 = b.add_app("odd");
+    let ips: Vec<_> = nis.iter().map(|&ni| b.add_ip_at(ni)).collect();
+    for i in 0..6usize {
+        let app = if i % 2 == 0 { a0 } else { a1 };
+        b.add_connection(
+            app,
+            ips[i],
+            ips[(i + 2) % 6],
+            Bandwidth::from_mbytes_per_sec(40),
+            800,
+        );
+    }
+    let system = AeliteSystem::design(b.build()).expect("ring allocates");
+    let outcome = system.simulate(quick());
+    assert!(outcome.service.all_ok());
+    let comp = system.verify_composability(SimOptions {
+        duration_cycles: 20_000,
+        ..SimOptions::default()
+    });
+    assert!(comp.is_composable());
+}
+
+#[test]
+fn buffer_sizing_analysis_predicts_throughput_stalls() {
+    // The analytical buffer requirement (credits must cover the round
+    // trip) is validated empirically: an undersized buffer throttles a
+    // saturating connection below its reservation; the computed size
+    // restores the full rate.
+    use aelite_alloc::allocate;
+    use aelite_analysis::buffer::required_buffer_words;
+    use aelite_noc::flitsim::{FlitSim, FlitSimConfig};
+    use aelite_spec::app::SystemSpecBuilder;
+    use aelite_spec::ids::NiId;
+    use aelite_spec::traffic::{Bandwidth, TrafficPattern};
+
+    let build = |buffer_words: u32| {
+        let topo = Topology::mesh(2, 1, 1);
+        let mut cfg = NocConfig::paper_default();
+        cfg.ni_buffer_words = buffer_words;
+        let mut b = SystemSpecBuilder::new(topo, cfg);
+        let app = b.add_app("a");
+        let s = b.add_ip_at(NiId::new(0));
+        let d = b.add_ip_at(NiId::new(1));
+        b.add_connection_with(
+            app,
+            s,
+            d,
+            Bandwidth::from_mbytes_per_sec(300), // ~15 slots: credit-hungry
+            2_000,
+            TrafficPattern::Saturating,
+            16,
+        );
+        b.build()
+    };
+    let run = |buffer_words: u32| -> (f64, f64, u32) {
+        let spec = build(buffer_words);
+        let alloc = allocate(&spec).expect("allocates");
+        let conn = spec.connections()[0].id;
+        let need = required_buffer_words(&spec, &alloc, conn, 24);
+        let report = FlitSim::new(&spec, &alloc).run(FlitSimConfig {
+            duration_cycles: 192_000,
+            ..FlitSimConfig::default()
+        });
+        let achieved = report.per_conn[0].throughput_bytes_per_sec(500, 192_000);
+        let allocated = alloc.allocated_bandwidth(&spec, conn).bytes_per_sec() as f64;
+        (achieved, allocated, need)
+    };
+
+    // Tiny buffer: stalls.
+    let (starved, allocated, need) = run(4);
+    assert!(
+        starved < allocated * 0.9,
+        "4-word buffer should stall: {starved} vs {allocated}"
+    );
+    assert!(need > 4, "analysis must flag the 4-word buffer (needs {need})");
+    // Analytically-required buffer: full rate.
+    let (full, allocated, _) = run(need);
+    assert!(
+        full >= allocated * 0.98,
+        "sized buffer should sustain the reservation: {full} vs {allocated}"
+    );
+}
+
+#[test]
+fn frequency_scaling_changes_feasibility() {
+    // The paper platform allocates at 500 MHz but not arbitrarily low.
+    let spec = paper_workload(42);
+    assert!(AeliteSystem::design(spec.at_frequency(500)).is_ok());
+    assert!(AeliteSystem::design(spec.at_frequency(100)).is_err());
+}

@@ -1,0 +1,195 @@
+//! Property-based tests of the core invariants (`DESIGN.md` section 5),
+//! exercised over randomly generated workloads, slot sets, routes and
+//! clock phases.
+
+use aelite_alloc::table::{gaps, worst_window};
+use aelite_alloc::{allocate, validate_allocation};
+use aelite_core::AeliteSystem;
+use aelite_noc::codec::{pack_header, route_capacity_hops, unpack_header};
+use aelite_noc::flitsim::{FlitSim, FlitSimConfig};
+use aelite_noc::phit::{Header, RouteBits};
+use aelite_sim::bisync::BisyncFifo;
+use aelite_sim::time::{SimDuration, SimTime};
+use aelite_spec::generate::{random_workload, WorkloadParams};
+use aelite_spec::ids::{ConnId, Port};
+use aelite_spec::topology::Topology;
+use aelite_spec::NocConfig;
+use proptest::prelude::*;
+
+/// Strategy: a sorted, deduplicated, non-empty slot set within a table.
+fn slot_sets() -> impl Strategy<Value = (Vec<u32>, u32)> {
+    (4u32..=64).prop_flat_map(|size| {
+        proptest::collection::btree_set(0..size, 1..=(size as usize).min(16))
+            .prop_map(move |set| (set.into_iter().collect(), size))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Gaps always sum to exactly one table revolution.
+    #[test]
+    fn gaps_sum_to_table_size((slots, size) in slot_sets()) {
+        let g = gaps(&slots, size);
+        prop_assert_eq!(g.iter().sum::<u32>(), size);
+        prop_assert_eq!(g.len(), slots.len());
+    }
+
+    /// `worst_window` matches a brute-force computation over all starting
+    /// positions and window lengths.
+    #[test]
+    fn worst_window_matches_brute_force((slots, size) in slot_sets(), m in 1u32..6) {
+        let fast = worst_window(&slots, size, m);
+        // Brute force: for each reserved slot, sum m consecutive gaps.
+        let g = gaps(&slots, size);
+        let n = g.len();
+        let mut brute = 0u32;
+        for start in 0..n {
+            let mut acc = 0;
+            for k in 0..(m as usize) {
+                acc += g[(start + k) % n];
+            }
+            brute = brute.max(acc);
+        }
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// worst_window is monotone in the number of flits.
+    #[test]
+    fn worst_window_monotone_in_flits((slots, size) in slot_sets(), m in 1u32..5) {
+        prop_assert!(worst_window(&slots, size, m) <= worst_window(&slots, size, m + 1));
+    }
+
+    /// Adding a slot never worsens the single-flit worst window.
+    #[test]
+    fn extra_slot_never_hurts((slots, size) in slot_sets()) {
+        if (slots.len() as u32) < size {
+            let free = (0..size).find(|s| !slots.contains(s)).expect("space left");
+            let mut more = slots.clone();
+            more.push(free);
+            more.sort_unstable();
+            prop_assert!(worst_window(&more, size, 1) <= worst_window(&slots, size, 1));
+        }
+    }
+
+    /// Header wire-format round-trips for every representable route.
+    #[test]
+    fn codec_roundtrip(
+        ports in proptest::collection::vec(0u8..8, 0..=8),
+        conn in 0u32..256,
+        width in prop_oneof![Just(32u32), Just(64), Just(128), Just(256)],
+    ) {
+        prop_assume!(ports.len() <= route_capacity_hops(width));
+        let route: Vec<Port> = ports.iter().map(|&p| Port(p)).collect();
+        let header = Header {
+            route: RouteBits::from_ports(&route),
+            conn: ConnId::new(conn),
+        };
+        let bits = pack_header(&header, width).expect("fits");
+        let back = unpack_header(bits, width, route.len()).expect("unpacks");
+        prop_assert_eq!(back, header);
+    }
+
+    /// The bi-synchronous FIFO preserves order and never loses or
+    /// duplicates words, for any monotone push/pop schedule.
+    #[test]
+    fn bisync_fifo_preserves_order(
+        delay_ps in 0u64..5_000,
+        // Push gaps (ps) and pop gaps (ps), interleaved by timestamp.
+        push_gaps in proptest::collection::vec(1u64..3_000, 1..20),
+        pop_extra in 0u64..10_000,
+    ) {
+        let mut fifo = BisyncFifo::new("prop", push_gaps.len(), SimDuration::from_ps(delay_ps));
+        let mut t = 0;
+        for (i, gap) in push_gaps.iter().enumerate() {
+            t += gap;
+            fifo.push(SimTime::from_ps(t), i as u32);
+        }
+        // Pop everything after the last word is surely visible.
+        let drain = SimTime::from_ps(t + delay_ps + pop_extra);
+        let mut out = Vec::new();
+        while let Some(v) = fifo.pop_visible(drain) {
+            out.push(v);
+        }
+        let expect: Vec<u32> = (0..push_gaps.len() as u32).collect();
+        prop_assert_eq!(out, expect);
+    }
+}
+
+/// Strategy: a small random workload spec that the generator accepts.
+fn small_workloads() -> impl Strategy<Value = (u64, u32, u32, u32)> {
+    // (seed, cols, rows, connections)
+    (0u64..1_000, 2u32..=4, 1u32..=3, 4u32..=24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every workload the generator accepts is allocatable, the
+    /// allocation passes independent validation, and simulation honours
+    /// every contract and analytical bound.
+    #[test]
+    fn random_workloads_allocate_validate_and_simulate(
+        (seed, cols, rows, conns) in small_workloads()
+    ) {
+        let topo = Topology::mesh(cols, rows, 2);
+        let ips = (topo.ni_count() as u32).max(4);
+        let params = WorkloadParams {
+            apps: 2,
+            connections: conns,
+            ips,
+            bw_min_mb: 5,
+            bw_max_mb: 150,
+            lat_min_ns: 60,
+            lat_max_ns: 900,
+            message_bytes: 16,
+            ni_load_cap: 0.5,
+        };
+        let spec = random_workload(topo, NocConfig::paper_default(), params, seed);
+        let alloc = allocate(&spec).expect("generator guarantees allocatability headroom");
+        validate_allocation(&spec, &alloc).expect("allocation must validate");
+
+        let report = FlitSim::new(&spec, &alloc).run(FlitSimConfig {
+            duration_cycles: 20_000,
+            ..FlitSimConfig::default()
+        });
+        let cycle_ns = spec.config().cycle_ns();
+        for c in spec.connections() {
+            let stats = report.conn(c.id);
+            prop_assert!(stats.flits > 0, "{} never delivered", c.id);
+            let bound = alloc.worst_case_latency_cycles(&spec, c.id);
+            prop_assert!(
+                stats.max_latency <= bound,
+                "{}: measured {} > bound {}",
+                c.id, stats.max_latency, bound
+            );
+            let max_ns = stats.max_latency as f64 * cycle_ns;
+            prop_assert!(max_ns <= c.max_latency_ns as f64);
+        }
+    }
+
+    /// Composability holds for arbitrary generated systems, not just the
+    /// paper workload.
+    #[test]
+    fn random_workloads_are_composable((seed, cols, rows, conns) in small_workloads()) {
+        let topo = Topology::mesh(cols, rows, 2);
+        let params = WorkloadParams {
+            apps: 2,
+            connections: conns,
+            ips: (2 * cols * rows).max(4),
+            bw_min_mb: 5,
+            bw_max_mb: 100,
+            lat_min_ns: 80,
+            lat_max_ns: 900,
+            message_bytes: 16,
+            ni_load_cap: 0.5,
+        };
+        let spec = random_workload(topo, NocConfig::paper_default(), params, seed);
+        let system = AeliteSystem::design(spec).expect("designs");
+        let result = system.verify_composability(aelite_core::SimOptions {
+            duration_cycles: 10_000,
+            ..aelite_core::SimOptions::default()
+        });
+        prop_assert!(result.is_composable(), "{}", result);
+    }
+}
