@@ -65,11 +65,7 @@ impl Allocation {
     /// Releases the grant of `conn`, freeing its slots; `false` if it
     /// held none. Used by the reconfiguration flow.
     pub(crate) fn release_grant(&mut self, conn: aelite_spec::ids::ConnId) -> bool {
-        let Some(grant) = self
-            .grants
-            .get_mut(conn.index())
-            .and_then(Option::take)
-        else {
+        let Some(grant) = self.grants.get_mut(conn.index()).and_then(Option::take) else {
             return false;
         };
         for &l in &grant.links {
@@ -228,8 +224,7 @@ pub fn pipeline_cycles(cfg: &aelite_spec::NocConfig, n_links: usize) -> u64 {
 /// conservative one-header-word-per-flit model.
 #[must_use]
 pub fn flits_per_message(spec: &SystemSpec, bytes: u32) -> u32 {
-    let payload =
-        spec.config().payload_words_per_flit() * spec.config().data_width_bytes();
+    let payload = spec.config().payload_words_per_flit() * spec.config().data_width_bytes();
     bytes.div_ceil(payload).max(1)
 }
 
@@ -317,7 +312,10 @@ impl Allocator {
     ///
     /// Connections are served hardest-first (most slots needed, then
     /// tightest latency), each greedily choosing the candidate path and
-    /// evenly-spread slot set that satisfies its contract.
+    /// evenly-spread slot set that satisfies its contract. A pass that
+    /// fails on some connection is retried with that connection promoted
+    /// to the front of the order (rip-up-and-retry), and each phase salt
+    /// restarts the promotion list from scratch.
     ///
     /// # Errors
     ///
@@ -332,30 +330,60 @@ impl Allocator {
         };
         let mut last_err = None;
         for &salt in salts {
-            match self.allocate_pass(spec, salt) {
-                Ok(a) => return Ok(a),
-                Err(e) => last_err = Some(e),
+            // Deterministic rip-up-and-retry: a pass failing on connection
+            // X reruns with X served first (before the heuristic order),
+            // so X picks its slots while the tables are still unfragmented.
+            let mut promoted: Vec<ConnId> = Vec::new();
+            loop {
+                match self.allocate_pass(spec, salt, &promoted) {
+                    Ok(a) => return Ok(a),
+                    Err(e) => {
+                        let failed = match &e {
+                            AllocError::NoRoute { conn }
+                            | AllocError::InsufficientSlots { conn, .. }
+                            | AllocError::LatencyUnmet { conn, .. } => *conn,
+                        };
+                        let give_up = matches!(e, AllocError::NoRoute { .. })
+                            || promoted.contains(&failed)
+                            || promoted.len() >= 8;
+                        last_err = Some(e);
+                        if give_up {
+                            break;
+                        }
+                        promoted.insert(0, failed);
+                    }
+                }
             }
         }
         Err(last_err.expect("at least one pass attempted"))
     }
 
-    fn allocate_pass(&self, spec: &SystemSpec, salt: u32) -> Result<Allocation, AllocError> {
+    fn allocate_pass(
+        &self,
+        spec: &SystemSpec,
+        salt: u32,
+        promoted: &[ConnId],
+    ) -> Result<Allocation, AllocError> {
         let mut alloc = Allocation::empty(spec);
-        let _cfg = spec.config();
 
         // Hardest connections first: the difficulty estimate is the slot
         // count the grant will end up with — the bandwidth minimum or, for
         // tight deadlines, the count forced by the required injection gap
-        // (estimated over the shortest route's pipeline delay).
-        let mut order: Vec<ConnId> = spec.connections().iter().map(|c| c.id).collect();
+        // (estimated over the shortest route's pipeline delay). Promoted
+        // connections (from failed passes) go first regardless.
+        let mut order: Vec<ConnId> = spec
+            .connections()
+            .iter()
+            .map(|c| c.id)
+            .filter(|id| !promoted.contains(id))
+            .collect();
         order.sort_by_key(|&id| {
             let c = spec.connection(id);
             let est = estimate_slots(spec, id);
             (core::cmp::Reverse(est), c.max_latency_ns, id)
         });
 
-        for conn in order {
+        for &conn in promoted.iter().chain(order.iter()) {
             self.allocate_one(spec, &mut alloc, conn, salt)?;
         }
         Ok(alloc)
@@ -709,7 +737,7 @@ mod tests {
         let app = b.add_app("app");
         let a = b.add_ip_at(NiId::new(0));
         let z = b.add_ip_at(NiId::new(11)); // opposite corner
-        // 1 ns across 7 links is physically impossible.
+                                            // 1 ns across 7 links is physically impossible.
         b.add_connection(app, a, z, Bandwidth::from_mbytes_per_sec(10), 1);
         let spec = b.build();
         match allocate(&spec) {
@@ -788,6 +816,9 @@ mod tests {
             best_available: 2,
         };
         let s = e.to_string();
-        assert!(s.contains("c3") && s.contains('5') && s.contains('2'), "{s}");
+        assert!(
+            s.contains("c3") && s.contains('5') && s.contains('2'),
+            "{s}"
+        );
     }
 }

@@ -35,7 +35,7 @@ pub mod table;
 pub mod validate;
 
 pub use allocate::{allocate, AllocError, Allocation, Allocator, Grant};
-pub use reconfigure::release;
 pub use path::{dimension_ordered, route_candidates, Path, PathError};
+pub use reconfigure::release;
 pub use table::{gaps, worst_window, SlotTable};
 pub use validate::{validate as validate_allocation, Violation};

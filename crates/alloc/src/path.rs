@@ -194,22 +194,24 @@ pub fn dimension_ordered(topo: &Topology, src: NiId, dst: NiId, x_first: bool) -
         *router = next;
         Some(())
     };
-    let walk_x = |x: &mut u32, y: u32, router: &mut RouterId, ports: &mut Vec<Port>| -> Option<()> {
-        while *x != tx {
-            let nx = if *x < tx { *x + 1 } else { *x - 1 };
-            step(router, nx, y, ports)?;
-            *x = nx;
-        }
-        Some(())
-    };
-    let walk_y = |x: u32, y: &mut u32, router: &mut RouterId, ports: &mut Vec<Port>| -> Option<()> {
-        while *y != ty {
-            let ny = if *y < ty { *y + 1 } else { *y - 1 };
-            step(router, x, ny, ports)?;
-            *y = ny;
-        }
-        Some(())
-    };
+    let walk_x =
+        |x: &mut u32, y: u32, router: &mut RouterId, ports: &mut Vec<Port>| -> Option<()> {
+            while *x != tx {
+                let nx = if *x < tx { *x + 1 } else { *x - 1 };
+                step(router, nx, y, ports)?;
+                *x = nx;
+            }
+            Some(())
+        };
+    let walk_y =
+        |x: u32, y: &mut u32, router: &mut RouterId, ports: &mut Vec<Port>| -> Option<()> {
+            while *y != ty {
+                let ny = if *y < ty { *y + 1 } else { *y - 1 };
+                step(router, x, ny, ports)?;
+                *y = ny;
+            }
+            Some(())
+        };
     if x_first {
         walk_x(&mut x, y, &mut router, &mut ports)?;
         walk_y(x, &mut y, &mut router, &mut ports)?;

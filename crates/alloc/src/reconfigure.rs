@@ -141,10 +141,7 @@ mod tests {
             .collect();
 
         // Tear down app 1.
-        let removed: Vec<ConnId> = spec
-            .app_connections(AppId::new(1))
-            .map(|c| c.id)
-            .collect();
+        let removed: Vec<ConnId> = spec.app_connections(AppId::new(1)).map(|c| c.id).collect();
         for c in &removed {
             assert!(release(&mut alloc, *c));
         }
@@ -167,7 +164,13 @@ mod tests {
         let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
         let app = b.add_app("base");
         let ips: Vec<_> = (0..4).map(|i| b.add_ip_at(NiId::new(i))).collect();
-        b.add_connection(app, ips[0], ips[3], Bandwidth::from_mbytes_per_sec(100), 500);
+        b.add_connection(
+            app,
+            ips[0],
+            ips[3],
+            Bandwidth::from_mbytes_per_sec(100),
+            500,
+        );
         let base_spec = b.build();
         let mut alloc = allocate(&base_spec).unwrap();
 
@@ -178,8 +181,20 @@ mod tests {
         let app = b.add_app("base");
         let app2 = b.add_app("late arrival");
         let ips: Vec<_> = (0..4).map(|i| b.add_ip_at(NiId::new(i))).collect();
-        let c0 = b.add_connection(app, ips[0], ips[3], Bandwidth::from_mbytes_per_sec(100), 500);
-        let c1 = b.add_connection(app2, ips[1], ips[2], Bandwidth::from_mbytes_per_sec(80), 500);
+        let c0 = b.add_connection(
+            app,
+            ips[0],
+            ips[3],
+            Bandwidth::from_mbytes_per_sec(100),
+            500,
+        );
+        let c1 = b.add_connection(
+            app2,
+            ips[1],
+            ips[2],
+            Bandwidth::from_mbytes_per_sec(80),
+            500,
+        );
         let spec2 = b.build();
 
         let before = alloc.grant(c0).unwrap().clone();

@@ -222,6 +222,9 @@ mod tests {
             required: 20,
         };
         let s = v.to_string();
-        assert!(s.contains("c1") && s.contains("10") && s.contains("20"), "{s}");
+        assert!(
+            s.contains("c1") && s.contains("10") && s.contains("20"),
+            "{s}"
+        );
     }
 }

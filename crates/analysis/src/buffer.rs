@@ -38,8 +38,7 @@ pub fn max_slots_in_window(slots: &[u32], size: u32, window: u32) -> u32 {
     if window >= size {
         // Full revolutions plus the remainder window.
         let revs = window / size;
-        return revs * slots.len() as u32
-            + max_slots_in_window(slots, size, window % size);
+        return revs * slots.len() as u32 + max_slots_in_window(slots, size, window % size);
     }
     let n = slots.len();
     let mut best = 0u32;
@@ -74,11 +73,12 @@ pub fn required_buffer_words(
 ) -> u32 {
     let cfg = spec.config();
     let grant = alloc.grant(conn).expect("connection has no grant");
-    let round_trip =
-        pipeline_cycles(cfg, grant.links.len()) + credit_return_cycles;
+    let round_trip = pipeline_cycles(cfg, grant.links.len()) + credit_return_cycles;
     // Window in slots, rounded up, plus one slot for the flit injected at
     // the window's leading edge.
-    let window = u32::try_from(round_trip.div_ceil(u64::from(cfg.slot_cycles()))).expect("window fits u32") + 1;
+    let window = u32::try_from(round_trip.div_ceil(u64::from(cfg.slot_cycles())))
+        .expect("window fits u32")
+        + 1;
     let in_flight = max_slots_in_window(&grant.inject_slots, cfg.slot_table_size, window);
     in_flight * cfg.payload_words_per_flit()
 }

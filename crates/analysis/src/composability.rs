@@ -52,10 +52,7 @@ impl fmt::Display for Divergence {
                 index,
                 reference,
                 compared,
-            } => write!(
-                f,
-                "delivery #{index} moved from {reference} to {compared}"
-            ),
+            } => write!(f, "delivery #{index} moved from {reference} to {compared}"),
             Divergence::Length {
                 reference,
                 compared,
@@ -84,7 +81,11 @@ impl ComposabilityResult {
 impl fmt::Display for ComposabilityResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_composable() {
-            write!(f, "composable: {} connections timing-identical", self.compared)
+            write!(
+                f,
+                "composable: {} connections timing-identical",
+                self.compared
+            )
         } else {
             write!(
                 f,

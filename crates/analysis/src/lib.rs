@@ -36,8 +36,8 @@ pub mod service;
 pub mod stats;
 
 pub use buffer::{max_slots_in_window, required_buffer_words, undersized_connections};
-pub use lr_server::{first_conformance_violation, lr_server, LrServer};
 pub use composability::{compare_timelines, ComposabilityResult, Divergence, Timeline};
+pub use lr_server::{first_conformance_violation, lr_server, LrServer};
 pub use service::{
     minimum_satisfying_frequency, verify_service, ConnVerdict, MeasuredService, ServiceReport,
 };

@@ -61,14 +61,13 @@ impl fmt::Display for LrServer {
 pub fn lr_server(spec: &SystemSpec, alloc: &Allocation, conn: ConnId) -> LrServer {
     let cfg = spec.config();
     let grant = alloc.grant(conn).expect("connection has no grant");
-    let payload =
-        f64::from(cfg.payload_words_per_flit()) * f64::from(cfg.data_width_bytes());
+    let payload = f64::from(cfg.payload_words_per_flit()) * f64::from(cfg.data_width_bytes());
     let slots = grant.inject_slots.len() as f64;
     let table_cycles = f64::from(cfg.slot_table_size) * f64::from(cfg.slot_cycles());
     let rate = slots * payload / table_cycles;
     let gap = worst_window(&grant.inject_slots, cfg.slot_table_size, 1);
-    let theta = u64::from(gap) * u64::from(cfg.slot_cycles())
-        + pipeline_cycles(cfg, grant.links.len());
+    let theta =
+        u64::from(gap) * u64::from(cfg.slot_cycles()) + pipeline_cycles(cfg, grant.links.len());
     LrServer {
         rate_bytes_per_cycle: rate,
         latency_cycles: theta,
@@ -129,8 +128,7 @@ mod tests {
         let conn = spec.connections()[0].id;
         let server = lr_server(&spec, &alloc, conn);
         let cfg = spec.config();
-        let rate_bytes_per_sec =
-            server.rate_bytes_per_cycle * cfg.frequency_mhz as f64 * 1e6;
+        let rate_bytes_per_sec = server.rate_bytes_per_cycle * cfg.frequency_mhz as f64 * 1e6;
         let allocated = alloc.allocated_bandwidth(&spec, conn).bytes_per_sec() as f64;
         // allocated_bandwidth floors to whole bytes/s per slot; the exact
         // LR rate sits within a few parts per million of it.

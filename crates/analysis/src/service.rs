@@ -136,8 +136,8 @@ pub fn verify_service(
                 m.bytes as f64 * cfg.frequency_mhz as f64 * 1e6 / duration_cycles as f64;
             let max_latency_ns = m.max_latency_cycles as f64 * cycle_ns;
             let bound_ns = alloc.map(|a| a.worst_case_latency_ns(spec, m.conn));
-            let within_bound = bound_ns
-                .map_or(true, |b| m.max_latency_cycles as f64 * cycle_ns <= b + 1e-9);
+            let within_bound =
+                bound_ns.is_none_or(|b| m.max_latency_cycles as f64 * cycle_ns <= b + 1e-9);
             ConnVerdict {
                 conn: m.conn,
                 required_bw: c.bandwidth.bytes_per_sec(),
@@ -164,17 +164,11 @@ pub fn verify_service(
 /// of more than 900 MHz before the latency observed during simulation is
 /// lower than requested for all connections" — the caller's closure runs
 /// the best-effort simulator at each candidate frequency.
-pub fn minimum_satisfying_frequency<F>(
-    candidates_mhz: &[u64],
-    mut run_at: F,
-) -> Option<u64>
+pub fn minimum_satisfying_frequency<F>(candidates_mhz: &[u64], mut run_at: F) -> Option<u64>
 where
     F: FnMut(u64) -> ServiceReport,
 {
-    candidates_mhz
-        .iter()
-        .copied()
-        .find(|&f| run_at(f).all_ok())
+    candidates_mhz.iter().copied().find(|&f| run_at(f).all_ok())
 }
 
 #[cfg(test)]

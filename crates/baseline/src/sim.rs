@@ -294,16 +294,14 @@ impl<'a> BeSim<'a> {
                         None => {
                             let rr = routers[r.index()].rr[o];
                             let n = routers[r.index()].inputs.len();
-                            (0..n)
-                                .map(|k| (rr + k) % n)
-                                .find(|&i| {
-                                    let inp = &routers[r.index()].inputs[i];
-                                    inp.fifo.front().is_some_and(|f| {
-                                        f.is_head
-                                            && f.entered_tick < tick
-                                            && route_port(f, &self.routes) == o
-                                    })
+                            (0..n).map(|k| (rr + k) % n).find(|&i| {
+                                let inp = &routers[r.index()].inputs[i];
+                                inp.fifo.front().is_some_and(|f| {
+                                    f.is_head
+                                        && f.entered_tick < tick
+                                        && route_port(f, &self.routes) == o
                                 })
+                            })
                         }
                     };
                     let Some(i) = chosen else { continue };
@@ -404,12 +402,8 @@ impl<'a> BeSim<'a> {
                         .push_back(flit);
                     if flit.is_tail {
                         ni_lock[ni.index()] = None;
-                        ni_rr[ni.index()] = (candidates
-                            .iter()
-                            .position(|&c| c == ci)
-                            .expect("candidate")
-                            + 1)
-                            % n;
+                        ni_rr[ni.index()] =
+                            (candidates.iter().position(|&c| c == ci).expect("candidate") + 1) % n;
                     } else {
                         ni_lock[ni.index()] = Some(ci);
                     }
@@ -452,9 +446,9 @@ fn packetise(
 /// Whether the input's head flit (a body/tail following a routed header,
 /// or a header targeting `o`) may advance to output `o` this tick.
 fn head_targets(inp: &InputPort, o: usize, routes: &[Vec<Port>], tick: u64) -> bool {
-    inp.fifo.front().is_some_and(|f| {
-        f.entered_tick < tick && (!f.is_head || route_port(f, routes) == o)
-    })
+    inp.fifo
+        .front()
+        .is_some_and(|f| f.entered_tick < tick && (!f.is_head || route_port(f, routes) == o))
 }
 
 /// Output port a head flit requests at its current router.
@@ -473,11 +467,7 @@ fn release_owner(router: &mut BeRouter, input: usize) {
 
 /// Dimension-ordered route between two NIs (X first), as router output
 /// ports, ending with the destination NI port.
-fn xy_route(
-    topo: &aelite_spec::topology::Topology,
-    src: NiId,
-    dst: NiId,
-) -> Option<Vec<Port>> {
+fn xy_route(topo: &aelite_spec::topology::Topology, src: NiId, dst: NiId) -> Option<Vec<Port>> {
     let (mut x, mut y) = topo.coords(topo.ni_router(src))?;
     let (tx, ty) = topo.coords(topo.ni_router(dst))?;
     let mut router = topo.ni_router(src);

@@ -67,11 +67,7 @@ fn main() {
     let mut results = Vec::new();
     for (name, a) in &cases {
         let (ok, peak) = success_count(a);
-        row(&[
-            (*name).to_string(),
-            format!("{ok}/8"),
-            format!("{peak:.2}"),
-        ]);
+        row(&[(*name).to_string(), format!("{ok}/8"), format!("{peak:.2}")]);
         results.push((*name, ok));
     }
     check(
@@ -133,7 +129,9 @@ fn main() {
                 port_area,
                 500.0,
                 util,
-                SleepMode::ClockGated { wake_overhead: 0.05 },
+                SleepMode::ClockGated {
+                    wake_overhead: 0.05,
+                },
             )
             .total_mw();
         }
@@ -145,7 +143,11 @@ fn main() {
         router_gated += on.leakage_mw + on.clock_mw * clock_fraction + on.data_mw;
     }
 
-    row(&["always-on (paper's current form)".to_string(), format!("{always_on:.1}"), "-".to_string()]);
+    row(&[
+        "always-on (paper's current form)".to_string(),
+        format!("{always_on:.1}"),
+        "-".to_string(),
+    ]);
     row(&[
         "whole-router clock gating".to_string(),
         format!("{router_gated:.1}"),

@@ -13,11 +13,11 @@
 //!    (paper: "more than 900 MHz") before every latency requirement is
 //!    observed to hold.
 
+use aelite_analysis::service::{minimum_satisfying_frequency, verify_service};
+use aelite_analysis::stats::Summary;
 use aelite_baseline::{BeConfig, BeSim};
 use aelite_bench::{check, header, row};
 use aelite_core::{measured_services_be, AeliteSystem, SimOptions};
-use aelite_analysis::service::{minimum_satisfying_frequency, verify_service};
-use aelite_analysis::stats::Summary;
 use aelite_spec::generate::paper_workload;
 
 const SEED: u64 = 42;
@@ -50,10 +50,7 @@ fn main() {
             ..BeConfig::default()
         });
         let measured = measured_services_be(&report);
-        (
-            report,
-            verify_service(&s, None, &measured, DURATION, 0.05),
-        )
+        (report, verify_service(&s, None, &measured, DURATION, 0.05))
     };
     let (be500, be500_service) = be_at(500);
 
@@ -90,7 +87,13 @@ fn main() {
 
     header(
         "flit latency across 200 connections at 500 MHz (ns)",
-        &["network", "mean-of-means", "max-of-means", "mean-of-maxes", "max-of-maxes"],
+        &[
+            "network",
+            "mean-of-means",
+            "max-of-means",
+            "mean-of-maxes",
+            "max-of-maxes",
+        ],
     );
     row(&[
         "aelite GS".to_string(),
@@ -140,9 +143,7 @@ fn main() {
         .per_conn
         .iter()
         .zip(&be500.per_conn)
-        .filter(|(g, b)| {
-            b.mean_latency().unwrap_or(f64::MAX) < g.mean_latency().unwrap_or(0.0)
-        })
+        .filter(|(g, b)| b.mean_latency().unwrap_or(f64::MAX) < g.mean_latency().unwrap_or(0.0))
         .count();
     check(
         "most connections have lower average latency under BE",
@@ -156,7 +157,10 @@ fn main() {
     check(
         "BE worst-case latency grows significantly vs GS",
         wider > 1.5,
-        format!("max-of-maxes {:.1} vs {:.1} ns ({wider:.2}x)", be_max.max, gs_max.max),
+        format!(
+            "max-of-maxes {:.1} vs {:.1} ns ({wider:.2}x)",
+            be_max.max, gs_max.max
+        ),
     );
     check(
         "BE violates some latency contracts at 500 MHz",

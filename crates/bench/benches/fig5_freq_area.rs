@@ -35,9 +35,7 @@ fn main() {
     };
     check(
         "area < 0.015 mm2 up to 650 MHz (paper: 'less than 0.015 mm2')",
-        (500..=650)
-            .step_by(25)
-            .all(|f| at(f).area_um2 < 15_000.0),
+        (500..=650).step_by(25).all(|f| at(f).area_um2 < 15_000.0),
         format!("650 MHz -> {:.0} um2", at(650).area_um2),
     );
     let fmax = router_max_frequency_mhz(&p);

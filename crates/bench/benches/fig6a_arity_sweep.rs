@@ -51,7 +51,10 @@ fn main() {
     check(
         "maximum frequency declines with arity",
         freqs.windows(2).all(|w| w[1] <= w[0]),
-        format!("{:.0} MHz (arity 2) .. {:.0} MHz (arity 7)", freqs[0], freqs[5]),
+        format!(
+            "{:.0} MHz (arity 2) .. {:.0} MHz (arity 7)",
+            freqs[0], freqs[5]
+        ),
     );
     check(
         "frequency range matches the figure's axis (~850-1300 MHz)",

@@ -52,11 +52,7 @@ fn main() {
         net.run_cycles(3_000);
         let d0 = net.delivery_cycles(c0);
         let d1 = net.delivery_cycles(c1);
-        row(&[
-            seed.to_string(),
-            format!("{d0:?}"),
-            format!("{d1:?}"),
-        ]);
+        row(&[seed.to_string(), format!("{d0:?}"), format!("{d1:?}")]);
         assert_eq!(d0.len(), 3, "seed {seed}: c0 lost flits");
         assert_eq!(d1.len(), 3, "seed {seed}: c1 lost flits");
         all.push((d0, d1));

@@ -51,7 +51,11 @@ fn main() {
     );
     let custom = bisync_fifo_area_um2(FifoKind::Custom, 4, 32);
     let std_cell = bisync_fifo_area_um2(FifoKind::StandardCell, 4, 32);
-    row(&["custom [18]".to_string(), format!("{custom:.0}"), "~1500".into()]);
+    row(&[
+        "custom [18]".to_string(),
+        format!("{custom:.0}"),
+        "~1500".into(),
+    ]);
     row(&[
         "standard cell [4]".to_string(),
         format!("{std_cell:.0}"),

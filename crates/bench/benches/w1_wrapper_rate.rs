@@ -6,9 +6,7 @@
 use aelite_bench::{check, header, row};
 use aelite_dataflow::models::{predicted_flit_rate_per_us, wrapper_chain};
 use aelite_noc::phit::{LinkWord, RouteBits};
-use aelite_noc::wrapper::{
-    token_channel, token_delivery_log, token_queue, AsyncNi, AsyncRouter,
-};
+use aelite_noc::wrapper::{token_channel, token_delivery_log, token_queue, AsyncNi, AsyncRouter};
 use aelite_sim::clock::ClockSpec;
 use aelite_sim::scheduler::Simulator;
 use aelite_sim::time::{Frequency, SimDuration, SimTime};
@@ -32,7 +30,7 @@ fn measure_rate(ppm: [i64; 3], run_us: u64) -> f64 {
 
     let q = token_queue();
     // Enough flits to saturate the whole run.
-    for i in 0..((run_us * 200) as u64) {
+    for i in 0..(run_us * 200) {
         q.borrow_mut().push_back([
             LinkWord::head(RouteBits::from_ports(&[Port(1)]), ConnId::new(0)),
             LinkWord::data(i, false),
@@ -85,12 +83,17 @@ fn measure_rate(ppm: [i64; 3], run_us: u64) -> f64 {
 fn main() {
     header(
         "wrapper rate vs slowest element (500 MHz nominal, token-level)",
-        &["ppm offsets [ni0, r, ni1]", "measured (flits/us)", "dataflow model", "error"],
+        &[
+            "ppm offsets [ni0, r, ni1]",
+            "measured (flits/us)",
+            "dataflow model",
+            "error",
+        ],
     );
     let cases: [[i64; 3]; 4] = [
         [0, 0, 0],
-        [-20_000, 0, 0],    // NI0 2% slow
-        [0, -50_000, 1_000], // router 5% slow
+        [-20_000, 0, 0],           // NI0 2% slow
+        [0, -50_000, 1_000],       // router 5% slow
         [10_000, 20_000, -30_000], // NI1 3% slow
     ];
     for ppm in cases {

@@ -106,7 +106,12 @@ pub fn estimate_cost(system: &AeliteSystem, fifo: FifoKind) -> SystemCost {
             .filter(|c| spec.ip_ni(c.src) == ni || spec.ip_ni(c.dst) == ni)
             .count() as u32;
         if conns > 0 {
-            let area = ni_area_um2(conns, cfg.ni_buffer_words, cfg.data_width_bits, cfg.slot_table_size);
+            let area = ni_area_um2(
+                conns,
+                cfg.ni_buffer_words,
+                cfg.data_width_bits,
+                cfg.slot_table_size,
+            );
             nis_um2 += area;
             power_mw += component_power(area, f_mhz, 0.2).total_mw();
         }
@@ -146,7 +151,9 @@ pub fn sleep_mode_saving_mw(system: &AeliteSystem) -> f64 {
                     port_area,
                     f_mhz,
                     util,
-                    SleepMode::ClockGated { wake_overhead: 0.05 },
+                    SleepMode::ClockGated {
+                        wake_overhead: 0.05,
+                    },
                 );
                 saving += on.total_mw() - gated.total_mw();
             }

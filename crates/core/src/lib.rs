@@ -33,8 +33,8 @@ pub mod system;
 
 pub use cost::{estimate_cost, sleep_mode_saving_mw, SystemCost};
 pub use system::{
-    measured_services, measured_services_be, timelines, AeliteSystem, DesignError,
-    ReconfigReport, SimOptions, SimulationOutcome,
+    measured_services, measured_services_be, timelines, AeliteSystem, DesignError, ReconfigReport,
+    SimOptions, SimulationOutcome,
 };
 
 // Re-export the component crates under one roof for convenience.

@@ -356,8 +356,7 @@ mod tests {
         let system = AeliteSystem::design(paper_workload(1)).unwrap();
         for c in system.spec().connections() {
             assert!(
-                system.guaranteed_bandwidth(c.id).bytes_per_sec()
-                    >= c.bandwidth.bytes_per_sec()
+                system.guaranteed_bandwidth(c.id).bytes_per_sec() >= c.bandwidth.bytes_per_sec()
             );
             assert!(system.latency_bound_ns(c.id) <= c.max_latency_ns as f64);
         }
@@ -441,10 +440,13 @@ mod tests {
             assert_eq!(b.timestamps, a.timestamps, "{} moved after", b.conn);
         }
         // And the re-added application still meets its contracts.
-        let app2 = system.simulate_apps(&[AppId::new(2)], SimOptions {
-            duration_cycles: 30_000,
-            ..SimOptions::default()
-        });
+        let app2 = system.simulate_apps(
+            &[AppId::new(2)],
+            SimOptions {
+                duration_cycles: 30_000,
+                ..SimOptions::default()
+            },
+        );
         assert!(app2.service.all_ok());
     }
 

@@ -200,7 +200,9 @@ impl SdfGraph {
             .collect();
         // Normalise by the gcd of all entries.
         let g = reps.iter().fold(0u64, |acc, &r| gcd(acc, r));
-        reps.iter().map(|&r| if g > 0 { r / g } else { 1 }).collect()
+        reps.iter()
+            .map(|&r| r.checked_div(g).unwrap_or(1))
+            .collect()
     }
 
     /// Expands the SDF graph into an equivalent HSDF graph with one actor
@@ -226,7 +228,11 @@ impl SdfGraph {
         for e in &self.edges {
             let ra = reps[e.from];
             let rb = reps[e.to];
-            let (p, q, d) = (u64::from(e.produce), u64::from(e.consume), u64::from(e.tokens));
+            let (p, q, d) = (
+                u64::from(e.produce),
+                u64::from(e.consume),
+                u64::from(e.tokens),
+            );
             for i in 0..ra {
                 for j in 0..p {
                     let n = i * p + j; // production order
@@ -349,7 +355,7 @@ mod tests {
         let narrow = g.add_actor("narrow NI", 6.0); // 3 cycles @ 500 MHz
         let conv = g.add_actor("converter", 6.0);
         let wide = g.add_actor("wide router", 12.0); // 3 cycles @ 250 MHz
-        // Non-reentrant actors.
+                                                     // Non-reentrant actors.
         g.add_edge(narrow, 1, narrow, 1, 1);
         g.add_edge(conv, 1, conv, 1, 1);
         g.add_edge(wide, 1, wide, 1, 1);

@@ -56,7 +56,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::RouteTooLong { hops, capacity } => {
-                write!(f, "route of {hops} hops exceeds word capacity of {capacity}")
+                write!(
+                    f,
+                    "route of {hops} hops exceeds word capacity of {capacity}"
+                )
             }
             CodecError::ConnTooLarge { conn } => {
                 write!(f, "connection id {conn} exceeds the 8-bit header field")
@@ -140,7 +143,9 @@ pub fn unpack_header(bits: u64, width_bits: u32, hops: usize) -> Result<Header, 
     let route_bits = bits & route_mask;
     let mut ports = Vec::with_capacity(hops);
     for i in 0..hops {
-        ports.push(aelite_spec::ids::Port(((route_bits >> (3 * i)) & 0b111) as u8));
+        ports.push(aelite_spec::ids::Port(
+            ((route_bits >> (3 * i)) & 0b111) as u8,
+        ));
     }
     Ok(Header {
         route: RouteBits::from_ports(&ports),
@@ -213,7 +218,10 @@ mod tests {
     #[test]
     fn conn_id_limited_to_8_bits() {
         let h = header(&[Port(1)], 256);
-        assert_eq!(pack_header(&h, 32), Err(CodecError::ConnTooLarge { conn: 256 }));
+        assert_eq!(
+            pack_header(&h, 32),
+            Err(CodecError::ConnTooLarge { conn: 256 })
+        );
     }
 
     #[test]

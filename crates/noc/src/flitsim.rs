@@ -267,7 +267,8 @@ impl<'a> FlitSim<'a> {
                 match st.pattern {
                     Pattern::Cbr { message_bytes } => {
                         while st.next_arrival_fp <= cycle << 16 {
-                            st.queue.push_back((st.next_arrival_fp >> 16, message_bytes));
+                            st.queue
+                                .push_back((st.next_arrival_fp >> 16, message_bytes));
                             st.next_arrival_fp += st.interval_fp;
                         }
                     }
@@ -383,8 +384,7 @@ mod tests {
             duration_cycles: 192_000,
             ..FlitSimConfig::default()
         });
-        let achieved =
-            report.per_conn[0].throughput_bytes_per_sec(500, report.duration_cycles);
+        let achieved = report.per_conn[0].throughput_bytes_per_sec(500, report.duration_cycles);
         assert!(
             achieved >= 98e6,
             "CBR at 100 MB/s delivered only {achieved} B/s"
@@ -430,8 +430,7 @@ mod tests {
                 c.id,
                 c.max_latency_ns
             );
-            let achieved =
-                stats.throughput_bytes_per_sec(spec.config().frequency_mhz, 200_000);
+            let achieved = stats.throughput_bytes_per_sec(spec.config().frequency_mhz, 200_000);
             assert!(
                 achieved >= c.bandwidth.bytes_per_sec() as f64 * 0.95,
                 "{}: achieved {achieved} of {}",
@@ -491,8 +490,7 @@ mod tests {
             duration_cycles: 192_000,
             ..FlitSimConfig::default()
         });
-        let achieved =
-            report.per_conn[0].throughput_bytes_per_sec(500, report.duration_cycles);
+        let achieved = report.per_conn[0].throughput_bytes_per_sec(500, report.duration_cycles);
         let allocated = alloc.allocated_bandwidth(&spec, conn).bytes_per_sec() as f64;
         assert!(
             achieved <= allocated * 1.02,

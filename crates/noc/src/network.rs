@@ -148,10 +148,7 @@ pub fn build_network(
     let (router_domains, ni_domains): (Vec<DomainId>, Vec<DomainId>) = match kind {
         NetworkKind::Synchronous => {
             let clk = sim.add_domain(ClockSpec::new(f));
-            (
-                vec![clk; topo.router_count()],
-                vec![clk; topo.ni_count()],
-            )
+            (vec![clk; topo.router_count()], vec![clk; topo.ni_count()])
         }
         NetworkKind::Mesochronous { phase_seed } => {
             let mut rng = StdRng::seed_from_u64(phase_seed);
@@ -213,10 +210,20 @@ pub fn build_network(
     // Routers.
     for r in topo.routers() {
         let inputs: Vec<_> = (0..topo.arity(r))
-            .map(|p| rx_wire[topo.in_link(r, aelite_spec::ids::Port(p as u8)).expect("port").index()])
+            .map(|p| {
+                rx_wire[topo
+                    .in_link(r, aelite_spec::ids::Port(p as u8))
+                    .expect("port")
+                    .index()]
+            })
             .collect();
         let outputs: Vec<_> = (0..topo.arity(r))
-            .map(|p| tx_wire[topo.out_link(r, aelite_spec::ids::Port(p as u8)).expect("port").index()])
+            .map(|p| {
+                tx_wire[topo
+                    .out_link(r, aelite_spec::ids::Port(p as u8))
+                    .expect("port")
+                    .index()]
+            })
             .collect();
         sim.add_module(
             router_domains[r.index()],
@@ -249,14 +256,18 @@ pub fn build_network(
             queues.push((c.id, std::rc::Rc::clone(&queue)));
             if with_traffic {
                 let words = c.message_bytes.div_ceil(cfg.data_width_bytes()).max(1);
-                let interval = (u64::from(c.message_bytes)
-                    * cfg.frequency_mhz
-                    * 1_000_000)
+                let interval = (u64::from(c.message_bytes) * cfg.frequency_mhz * 1_000_000)
                     .div_ceil(c.bandwidth.bytes_per_sec().max(1))
                     .max(1);
                 sim.add_module(
                     domain,
-                    CbrSource::new(format!("{}.cbr", c.id), std::rc::Rc::clone(&queue), words, interval, 0),
+                    CbrSource::new(
+                        format!("{}.cbr", c.id),
+                        std::rc::Rc::clone(&queue),
+                        words,
+                        interval,
+                        0,
+                    ),
                 );
             }
             src_conns.push(SourceConn {

@@ -253,7 +253,8 @@ impl Module for NiSource {
         let base_tag = (u64::from(msg.seq) << 8) | u64::from(msg.words - remaining);
         for k in 0..send_words {
             let eop = k + 1 == send_words;
-            self.pending.push_back(LinkWord::data(base_tag + u64::from(k), eop));
+            self.pending
+                .push_back(LinkWord::data(base_tag + u64::from(k), eop));
         }
         // Pad short flits with idle cycles (slot is still consumed).
         for _ in send_words..payload_capacity {
@@ -463,7 +464,7 @@ impl Module for CbrSource {
     fn on_edge(&mut self, ctx: &mut EdgeContext<'_, LinkWord>) {
         let cycle = ctx.cycle();
         if cycle >= self.offset_cycles
-            && (cycle - self.offset_cycles) % self.interval_cycles == 0
+            && (cycle - self.offset_cycles).is_multiple_of(self.interval_cycles)
             && self.seq < self.limit
         {
             self.queue.borrow_mut().push_back(Message {
@@ -523,7 +524,13 @@ mod tests {
             wire,
             S,
             3,
-            vec![source_conn(0, slots, Rc::clone(&queue), credits.clone(), credit)],
+            vec![source_conn(
+                0,
+                slots,
+                Rc::clone(&queue),
+                credits.clone(),
+                credit,
+            )],
         );
         // The sink sees packets whose single-hop route was consumed by a
         // router; emulate by building sources with an empty route.

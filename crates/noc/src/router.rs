@@ -194,10 +194,13 @@ mod tests {
         }
     }
 
+    /// A shared log of `(cycle, word)` observations.
+    type ProbeLog = std::rc::Rc<std::cell::RefCell<Vec<(u64, LinkWord)>>>;
+
     /// Records everything appearing on a wire.
     struct Probe {
         input: Wire<LinkWord>,
-        log: std::rc::Rc<std::cell::RefCell<Vec<(u64, LinkWord)>>>,
+        log: ProbeLog,
     }
     impl Module for Probe {
         type Value = LinkWord;
@@ -222,7 +225,7 @@ mod tests {
 
     struct Bench {
         sim: Simulator<LinkWord>,
-        logs: Vec<std::rc::Rc<std::cell::RefCell<Vec<(u64, LinkWord)>>>>,
+        logs: Vec<ProbeLog>,
     }
 
     /// One router with `n_in` scripted inputs and probes on all outputs.
@@ -230,7 +233,9 @@ mod tests {
         let mut sim: Simulator<LinkWord> = Simulator::new();
         let clk = sim.add_domain(ClockSpec::new(Frequency::from_mhz(500)));
         let ins: Vec<_> = (0..n_in).map(|i| sim.add_wire(format!("in{i}"))).collect();
-        let outs: Vec<_> = (0..n_out).map(|o| sim.add_wire(format!("out{o}"))).collect();
+        let outs: Vec<_> = (0..n_out)
+            .map(|o| sim.add_wire(format!("out{o}")))
+            .collect();
         for (i, script) in scripts.into_iter().enumerate() {
             sim.add_module(
                 clk,
@@ -297,11 +302,7 @@ mod tests {
     #[test]
     fn parallel_streams_to_distinct_outputs() {
         // TDM-aligned traffic: two inputs, two outputs, no contention.
-        let mut b = bench(
-            2,
-            2,
-            vec![flit(&[Port(0)], 1, 0), flit(&[Port(1)], 2, 100)],
-        );
+        let mut b = bench(2, 2, vec![flit(&[Port(0)], 1, 0), flit(&[Port(1)], 2, 100)]);
         b.sim.run_until(SimTime::from_ns(40));
         assert_eq!(b.logs[0].borrow().len(), 3);
         assert_eq!(b.logs[1].borrow().len(), 3);
@@ -312,11 +313,7 @@ mod tests {
     fn contention_is_detected_and_fatal() {
         // Both inputs target output 0 in the same cycle — exactly what a
         // broken TDM allocation would produce.
-        let mut b = bench(
-            2,
-            2,
-            vec![flit(&[Port(0)], 1, 0), flit(&[Port(0)], 2, 100)],
-        );
+        let mut b = bench(2, 2, vec![flit(&[Port(0)], 1, 0), flit(&[Port(0)], 2, 100)]);
         b.sim.run_until(SimTime::from_ns(40));
     }
 

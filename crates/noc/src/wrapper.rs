@@ -129,7 +129,10 @@ impl AsyncRouter {
         outputs: Vec<TokenChannel>,
         flit_words: u32,
     ) -> Self {
-        assert!(!inputs.is_empty() && !outputs.is_empty(), "router needs ports");
+        assert!(
+            !inputs.is_empty() && !outputs.is_empty(),
+            "router needs ports"
+        );
         assert!(outputs.len() <= 8, "arity exceeds 3-bit port encoding");
         AsyncRouter {
             name: name.into(),
@@ -464,8 +467,7 @@ mod tests {
     fn tokens_flow_between_plesiochronous_elements() {
         let mut b = bench([-200, 0, 200]);
         for i in 0..5 {
-            b.q0
-                .borrow_mut()
+            b.q0.borrow_mut()
                 .push_back(data_flit(0, &[Port(1)], i * 10));
         }
         b.sim.run_until(aelite_sim::time::SimTime::from_us(2));
@@ -523,7 +525,10 @@ mod tests {
         let d = sim.add_domain(ClockSpec::new(f));
         let input = token_channel("in", 8, lat, 8); // full of empties
         let output = token_channel("out", 2, lat, 2); // already full!
-        sim.add_module(d, AsyncRouter::new("r", vec![input.clone()], vec![output], 3));
+        sim.add_module(
+            d,
+            AsyncRouter::new("r", vec![input.clone()], vec![output], 3),
+        );
         sim.run_until(aelite_sim::time::SimTime::from_ns(300));
         // The router could never fire: its input is still full.
         assert_eq!(input.with(|f| f.occupancy()), 8);

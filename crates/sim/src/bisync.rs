@@ -180,7 +180,10 @@ impl<T> BisyncFifo<T> {
     /// The number of words visible to the reader at `now`.
     #[must_use]
     pub fn visible_len(&self, now: SimTime) -> usize {
-        self.queue.iter().take_while(|e| e.visible_at <= now).count()
+        self.queue
+            .iter()
+            .take_while(|e| e.visible_at <= now)
+            .count()
     }
 }
 

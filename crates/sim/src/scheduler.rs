@@ -296,7 +296,9 @@ mod tests {
             "sampler"
         }
         fn on_edge(&mut self, ctx: &mut EdgeContext<'_, u32>) {
-            self.log.borrow_mut().push((ctx.time(), ctx.read(self.input)));
+            self.log
+                .borrow_mut()
+                .push((ctx.time(), ctx.read(self.input)));
         }
     }
 

@@ -396,10 +396,19 @@ mod tests {
     fn duration_scale_rounds_to_nearest() {
         let d = SimDuration::from_fs(1_000_000);
         // +100 ppm
-        assert_eq!(d.scale(1_000_100, 1_000_000), SimDuration::from_fs(1_000_100));
+        assert_eq!(
+            d.scale(1_000_100, 1_000_000),
+            SimDuration::from_fs(1_000_100)
+        );
         // A third, rounded.
-        assert_eq!(SimDuration::from_fs(10).scale(1, 3), SimDuration::from_fs(3));
-        assert_eq!(SimDuration::from_fs(11).scale(1, 3), SimDuration::from_fs(4));
+        assert_eq!(
+            SimDuration::from_fs(10).scale(1, 3),
+            SimDuration::from_fs(3)
+        );
+        assert_eq!(
+            SimDuration::from_fs(11).scale(1, 3),
+            SimDuration::from_fs(4)
+        );
     }
 
     #[test]
@@ -410,15 +419,27 @@ mod tests {
 
     #[test]
     fn frequency_period_is_exact_for_round_numbers() {
-        assert_eq!(Frequency::from_mhz(500).period(), SimDuration::from_ps(2_000));
-        assert_eq!(Frequency::from_mhz(1_000).period(), SimDuration::from_ps(1_000));
-        assert_eq!(Frequency::from_mhz(250).period(), SimDuration::from_ps(4_000));
+        assert_eq!(
+            Frequency::from_mhz(500).period(),
+            SimDuration::from_ps(2_000)
+        );
+        assert_eq!(
+            Frequency::from_mhz(1_000).period(),
+            SimDuration::from_ps(1_000)
+        );
+        assert_eq!(
+            Frequency::from_mhz(250).period(),
+            SimDuration::from_ps(4_000)
+        );
     }
 
     #[test]
     fn frequency_period_rounds_irregular_values() {
         // 650 MHz -> 1538461.53... fs, rounds to 1538462.
-        assert_eq!(Frequency::from_mhz(650).period(), SimDuration::from_fs(1_538_462));
+        assert_eq!(
+            Frequency::from_mhz(650).period(),
+            SimDuration::from_fs(1_538_462)
+        );
     }
 
     #[test]
@@ -431,7 +452,10 @@ mod tests {
 
     #[test]
     fn saturating_add_clamps() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_ns(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_ns(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

@@ -306,7 +306,10 @@ impl SystemSpecBuilder {
     ) -> ConnId {
         assert!(app.index() < self.apps.len(), "unknown {app}");
         assert!(src.index() < self.mapping.len(), "unknown source {src}");
-        assert!(dst.index() < self.mapping.len(), "unknown destination {dst}");
+        assert!(
+            dst.index() < self.mapping.len(),
+            "unknown destination {dst}"
+        );
         assert!(src != dst, "connection endpoints must differ ({src})");
         assert!(message_bytes > 0, "message size must be non-zero");
         let id = ConnId::new(self.connections.len() as u32);
@@ -367,7 +370,12 @@ mod tests {
         assert_eq!(spec.apps().len(), 2);
         assert_eq!(spec.connections().len(), 3);
         assert_eq!(spec.ip_count(), 3);
-        assert_eq!(spec.connection(ConnId::new(1)).bandwidth.mbytes_per_sec_f64(), 50.0);
+        assert_eq!(
+            spec.connection(ConnId::new(1))
+                .bandwidth
+                .mbytes_per_sec_f64(),
+            50.0
+        );
     }
 
     #[test]
@@ -397,10 +405,7 @@ mod tests {
     #[test]
     fn total_bandwidth_sums_contracts() {
         let spec = tiny_spec();
-        assert_eq!(
-            spec.total_bandwidth(),
-            Bandwidth::from_mbytes_per_sec(170)
-        );
+        assert_eq!(spec.total_bandwidth(), Bandwidth::from_mbytes_per_sec(170));
     }
 
     #[test]

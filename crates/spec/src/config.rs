@@ -88,7 +88,7 @@ impl NocConfig {
     #[must_use]
     pub fn data_width_bytes(&self) -> u32 {
         assert!(
-            self.data_width_bits % 8 == 0,
+            self.data_width_bits.is_multiple_of(8),
             "data width must be a whole number of bytes"
         );
         self.data_width_bits / 8
@@ -187,7 +187,7 @@ impl NocConfig {
     /// sizes, non-byte width, or a flit too small to carry a header plus
     /// any payload.
     pub fn validate(&self) -> Result<(), String> {
-        if self.data_width_bits == 0 || self.data_width_bits % 8 != 0 {
+        if self.data_width_bits == 0 || !self.data_width_bits.is_multiple_of(8) {
             return Err(format!(
                 "data width {} must be a non-zero multiple of 8 bits",
                 self.data_width_bits

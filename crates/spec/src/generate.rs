@@ -98,7 +98,12 @@ impl Default for WorkloadParams {
 #[must_use]
 pub fn paper_workload(seed: u64) -> SystemSpec {
     let topo = Topology::mesh(4, 3, 4);
-    random_workload(topo, NocConfig::paper_default(), WorkloadParams::paper(), seed)
+    random_workload(
+        topo,
+        NocConfig::paper_default(),
+        WorkloadParams::paper(),
+        seed,
+    )
 }
 
 /// Generates a random workload on an arbitrary platform.
@@ -151,8 +156,7 @@ pub fn random_workload(
     // Remaining slot budget per directed link. A connection consumes its
     // estimated slot count on every link of its XY route; drawing against
     // this budget keeps the workload allocatable (see module docs).
-    let link_budget =
-        (f64::from(config.slot_table_size) * params.ni_load_cap).floor() as i64;
+    let link_budget = (f64::from(config.slot_table_size) * params.ni_load_cap).floor() as i64;
     let mut link_left = vec![link_budget; b.topology().link_count()];
 
     for c in 0..params.connections {
@@ -213,9 +217,8 @@ pub fn random_workload(
             accepted = Some((src, dst, bw, lat));
             break;
         }
-        let (src, dst, bw, lat) = accepted.unwrap_or_else(|| {
-            panic!("could not draw a feasible connection #{c}; lower the load")
-        });
+        let (src, dst, bw, lat) = accepted
+            .unwrap_or_else(|| panic!("could not draw a feasible connection #{c}; lower the load"));
 
         let app = apps[(c % params.apps) as usize];
         b.add_connection_with(

@@ -235,14 +235,21 @@ impl Topology {
     /// The largest router arity in the topology.
     #[must_use]
     pub fn max_arity(&self) -> usize {
-        self.routers.iter().map(|r| r.ports.len()).max().unwrap_or(0)
+        self.routers
+            .iter()
+            .map(|r| r.ports.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// What `port` of `router` connects to, or `None` for an out-of-range
     /// port.
     #[must_use]
     pub fn port_target(&self, router: RouterId, port: Port) -> Option<PortTarget> {
-        self.routers[router.index()].ports.get(port.index()).copied()
+        self.routers[router.index()]
+            .ports
+            .get(port.index())
+            .copied()
     }
 
     /// All ports of `router` with their targets.
@@ -257,13 +264,19 @@ impl Topology {
     /// The outgoing link leaving `router` through `port`.
     #[must_use]
     pub fn out_link(&self, router: RouterId, port: Port) -> Option<LinkId> {
-        self.routers[router.index()].out_links.get(port.index()).copied()
+        self.routers[router.index()]
+            .out_links
+            .get(port.index())
+            .copied()
     }
 
     /// The incoming link arriving at `router` on `port`.
     #[must_use]
     pub fn in_link(&self, router: RouterId, port: Port) -> Option<LinkId> {
-        self.routers[router.index()].in_links.get(port.index()).copied()
+        self.routers[router.index()]
+            .in_links
+            .get(port.index())
+            .copied()
     }
 
     /// The port of `router` that faces `target`, if any.

@@ -116,7 +116,10 @@ mod tests {
         let a8 = bisync_fifo_area_um2(FifoKind::Custom, 8, 32);
         let a4w64 = bisync_fifo_area_um2(FifoKind::Custom, 4, 64);
         assert!(a8 > a4);
-        assert!((a8 - a4 - (a4w64 - a4)).abs() < 1e-9, "words and width symmetric");
+        assert!(
+            (a8 - a4 - (a4w64 - a4)).abs() < 1e-9,
+            "words and width symmetric"
+        );
     }
 
     #[test]

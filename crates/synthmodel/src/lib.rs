@@ -38,9 +38,9 @@ pub use compare::{comparison_table, GsBeComparison, PublishedRouter};
 pub use components::{
     bisync_fifo_area_um2, link_stage_area_um2, ni_area_um2, router_with_links_area_um2, FifoKind,
 };
+pub use power::{component_power, router_power, PowerBreakdown, SleepMode};
 pub use router::{
     aggregate_throughput_gbytes, router_base_area_um2, router_max_frequency_mhz, synthesize,
     synthesize_at, synthesize_max, RouterParams, SynthResult,
 };
-pub use power::{component_power, router_power, PowerBreakdown, SleepMode};
 pub use tech::{LayoutDerate, TechNode};

@@ -92,12 +92,7 @@ pub enum SleepMode {
 ///
 /// Panics if `occupancy` is outside `[0, 1]`.
 #[must_use]
-pub fn router_power(
-    area_um2: f64,
-    f_mhz: f64,
-    occupancy: f64,
-    mode: SleepMode,
-) -> PowerBreakdown {
+pub fn router_power(area_um2: f64, f_mhz: f64, occupancy: f64, mode: SleepMode) -> PowerBreakdown {
     assert!(
         (0.0..=1.0).contains(&occupancy),
         "occupancy {occupancy} out of [0, 1]"
@@ -139,7 +134,9 @@ mod tests {
             14_300.0,
             500.0,
             0.1,
-            SleepMode::ClockGated { wake_overhead: 0.05 },
+            SleepMode::ClockGated {
+                wake_overhead: 0.05,
+            },
         );
         assert!(gated.total_mw() < on.total_mw());
         // At 10% occupancy the gated clock burns ~15% of the always-on
@@ -155,7 +152,9 @@ mod tests {
             10_000.0,
             500.0,
             1.0,
-            SleepMode::ClockGated { wake_overhead: 0.05 },
+            SleepMode::ClockGated {
+                wake_overhead: 0.05,
+            },
         );
         assert!((gated.total_mw() - on.total_mw()).abs() < 1e-9);
     }

@@ -273,7 +273,11 @@ mod tests {
             assert!(d2 / d1 < 1.9, "increments {d1} then {d2}");
         }
         // Absolute anchors from the figure's axis range.
-        assert!((4_000.0..7_000.0).contains(&areas[0]), "arity 2: {}", areas[0]);
+        assert!(
+            (4_000.0..7_000.0).contains(&areas[0]),
+            "arity 2: {}",
+            areas[0]
+        );
         assert!(
             (20_000.0..30_000.0).contains(&areas[5]),
             "arity 7: {}",
@@ -299,11 +303,7 @@ mod tests {
         let a = |w: u32| synthesize_max(&RouterParams::symmetric(6, w)).area_um2;
         for w in [32u32, 64, 128] {
             let ratio = a(2 * w) / a(w);
-            assert!(
-                (1.7..2.1).contains(&ratio),
-                "width {w} -> {}x",
-                ratio
-            );
+            assert!((1.7..2.1).contains(&ratio), "width {w} -> {}x", ratio);
         }
     }
 

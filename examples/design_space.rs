@@ -7,8 +7,7 @@
 use aelite_synth::compare::GsBeComparison;
 use aelite_synth::components::{router_with_links_area_um2, FifoKind};
 use aelite_synth::router::{
-    aggregate_throughput_gbytes, router_max_frequency_mhz, synthesize, synthesize_max,
-    RouterParams,
+    aggregate_throughput_gbytes, router_max_frequency_mhz, synthesize, synthesize_max, RouterParams,
 };
 use aelite_synth::tech::LayoutDerate;
 
@@ -44,7 +43,10 @@ fn main() {
     // Price the physical-scalability options for the chosen router.
     println!("\nphysical organisation options for {pick}:");
     let sync = synthesize(&pick, 500.0);
-    println!("  synchronous (global clock):      {:>8.0} um2", sync.area_um2);
+    println!(
+        "  synchronous (global clock):      {:>8.0} um2",
+        sync.area_um2
+    );
     let meso_custom = router_with_links_area_um2(&pick, FifoKind::Custom);
     println!("  mesochronous, custom FIFOs [18]: {meso_custom:>8.0} um2");
     let meso_std = router_with_links_area_um2(&pick, FifoKind::StandardCell);

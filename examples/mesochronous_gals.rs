@@ -81,8 +81,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "synchronous build (no link stages): deliveries at {:?}",
         sync_net.delivery_cycles(sync_conn)
     );
-    println!(
-        "(earlier by one slot per hop: the price of each re-aligning link stage)"
-    );
+    println!("(earlier by one slot per hop: the price of each re-aligning link stage)");
     Ok(())
 }

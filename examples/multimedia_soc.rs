@@ -28,23 +28,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Four independent applications.
     let video = b.add_app("video decode");
-    b.add_connection(video, video_in, video_dec, Bandwidth::from_mbytes_per_sec(200), 300);
-    b.add_connection(video, video_dec, mem0, Bandwidth::from_mbytes_per_sec(400), 250);
-    b.add_connection(video, mem0, video_dec, Bandwidth::from_mbytes_per_sec(400), 250);
-    b.add_connection(video, video_dec, display, Bandwidth::from_mbytes_per_sec(250), 200);
+    b.add_connection(
+        video,
+        video_in,
+        video_dec,
+        Bandwidth::from_mbytes_per_sec(200),
+        300,
+    );
+    b.add_connection(
+        video,
+        video_dec,
+        mem0,
+        Bandwidth::from_mbytes_per_sec(400),
+        250,
+    );
+    b.add_connection(
+        video,
+        mem0,
+        video_dec,
+        Bandwidth::from_mbytes_per_sec(400),
+        250,
+    );
+    b.add_connection(
+        video,
+        video_dec,
+        display,
+        Bandwidth::from_mbytes_per_sec(250),
+        200,
+    );
 
     let audio = b.add_app("audio");
-    b.add_connection(audio, audio_in, audio_dsp, Bandwidth::from_mbytes_per_sec(12), 400);
-    b.add_connection(audio, audio_dsp, speakers, Bandwidth::from_mbytes_per_sec(12), 150);
+    b.add_connection(
+        audio,
+        audio_in,
+        audio_dsp,
+        Bandwidth::from_mbytes_per_sec(12),
+        400,
+    );
+    b.add_connection(
+        audio,
+        audio_dsp,
+        speakers,
+        Bandwidth::from_mbytes_per_sec(12),
+        150,
+    );
 
     let gfx = b.add_app("GUI");
     b.add_connection(gfx, gui, mem1, Bandwidth::from_mbytes_per_sec(80), 400);
     b.add_connection(gfx, mem1, display, Bandwidth::from_mbytes_per_sec(120), 350);
 
     let control = b.add_app("control");
-    b.add_connection(control, host, sensors, Bandwidth::from_mbytes_per_sec(10), 500);
-    b.add_connection(control, sensors, host, Bandwidth::from_mbytes_per_sec(10), 500);
-    b.add_connection(control, host, actuators, Bandwidth::from_mbytes_per_sec(10), 450);
+    b.add_connection(
+        control,
+        host,
+        sensors,
+        Bandwidth::from_mbytes_per_sec(10),
+        500,
+    );
+    b.add_connection(
+        control,
+        sensors,
+        host,
+        Bandwidth::from_mbytes_per_sec(10),
+        500,
+    );
+    b.add_connection(
+        control,
+        host,
+        actuators,
+        Bandwidth::from_mbytes_per_sec(10),
+        450,
+    );
 
     let system = AeliteSystem::design(b.build())?;
     let opts = SimOptions {

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --example oversubscription`
 
-use aelite_core::{measured_services, timelines, AeliteSystem, SimOptions};
 use aelite_analysis::composability::compare_timelines;
+use aelite_core::{measured_services, timelines, AeliteSystem, SimOptions};
 use aelite_spec::app::SystemSpecBuilder;
 use aelite_spec::config::NocConfig;
 use aelite_spec::topology::Topology;
@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         greedy_bw / 1e6,
         reserved / 1e6
     );
-    assert!(greedy_bw <= reserved * 1.02, "reservation must cap the offender");
+    assert!(
+        greedy_bw <= reserved * 1.02,
+        "reservation must cap the offender"
+    );
 
     // 2. The victim's timing is bit-identical either way.
     let victim_timelines_base: Vec<_> = timelines(&base.report)

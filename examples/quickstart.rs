@@ -24,13 +24,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw = builder.add_connection(app, camera, isp, Bandwidth::from_mbytes_per_sec(300), 200);
     let processed =
         builder.add_connection(app, isp, encoder, Bandwidth::from_mbytes_per_sec(150), 300);
-    let bitstream =
-        builder.add_connection(app, encoder, memory, Bandwidth::from_mbytes_per_sec(40), 500);
+    let bitstream = builder.add_connection(
+        app,
+        encoder,
+        memory,
+        Bandwidth::from_mbytes_per_sec(40),
+        500,
+    );
     let spec = builder.build();
 
     // 3. Design: paths + TDM slots, contention-free by construction.
     let system = AeliteSystem::design(spec)?;
-    println!("designed {} connections:", system.spec().connections().len());
+    println!(
+        "designed {} connections:",
+        system.spec().connections().len()
+    );
     for conn in [raw, processed, bitstream] {
         println!(
             "  {conn}: guaranteed {} | worst-case latency {:.1} ns",

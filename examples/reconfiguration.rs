@@ -25,15 +25,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The resident app always runs. Connection ids stay stable
         // because every connection is declared in a fixed order and
         // simply omitted (same positions never re-used) when inactive...
-        b.add_connection(resident, ips[0], ips[1], Bandwidth::from_mbytes_per_sec(50), 400);
-        b.add_connection(resident, ips[1], ips[0], Bandwidth::from_mbytes_per_sec(50), 400);
+        b.add_connection(
+            resident,
+            ips[0],
+            ips[1],
+            Bandwidth::from_mbytes_per_sec(50),
+            400,
+        );
+        b.add_connection(
+            resident,
+            ips[1],
+            ips[0],
+            Bandwidth::from_mbytes_per_sec(50),
+            400,
+        );
         if with_call {
-            b.add_connection(call, ips[2], ips[3], Bandwidth::from_mbytes_per_sec(150), 300);
-            b.add_connection(call, ips[3], ips[2], Bandwidth::from_mbytes_per_sec(150), 300);
+            b.add_connection(
+                call,
+                ips[2],
+                ips[3],
+                Bandwidth::from_mbytes_per_sec(150),
+                300,
+            );
+            b.add_connection(
+                call,
+                ips[3],
+                ips[2],
+                Bandwidth::from_mbytes_per_sec(150),
+                300,
+            );
         }
         if with_game {
-            b.add_connection(game, ips[4], ips[5], Bandwidth::from_mbytes_per_sec(200), 250);
-            b.add_connection(game, ips[5], ips[6], Bandwidth::from_mbytes_per_sec(100), 350);
+            b.add_connection(
+                game,
+                ips[4],
+                ips[5],
+                Bandwidth::from_mbytes_per_sec(200),
+                250,
+            );
+            b.add_connection(
+                game,
+                ips[5],
+                ips[6],
+                Bandwidth::from_mbytes_per_sec(100),
+                350,
+            );
         }
         // Ids stay stable because connections are declared in a fixed
         // order and flags only append/omit at the tail; transitions that

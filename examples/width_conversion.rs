@@ -49,9 +49,7 @@ fn main() {
         } else {
             "wide"
         };
-        println!(
-            "{label:<28} {narrow_rate:>14.1} {wide_rate:>14.1} {bottleneck:>12}"
-        );
+        println!("{label:<28} {narrow_rate:>14.1} {wide_rate:>14.1} {bottleneck:>12}");
         // Conservation: two narrow flits per wide flit, always.
         assert!((narrow_rate / wide_rate - 2.0).abs() < 1e-9);
     }

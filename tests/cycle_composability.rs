@@ -22,11 +22,35 @@ fn spec(stages: u32) -> SystemSpec {
     let app_b = b.add_app("B");
     let ips: Vec<_> = (0..4).map(|i| b.add_ip_at(NiId::new(i))).collect();
     // A: corner to corner, both diagonals.
-    b.add_connection(app_a, ips[0], ips[3], Bandwidth::from_mbytes_per_sec(80), 900);
-    b.add_connection(app_a, ips[3], ips[0], Bandwidth::from_mbytes_per_sec(60), 900);
+    b.add_connection(
+        app_a,
+        ips[0],
+        ips[3],
+        Bandwidth::from_mbytes_per_sec(80),
+        900,
+    );
+    b.add_connection(
+        app_a,
+        ips[3],
+        ips[0],
+        Bandwidth::from_mbytes_per_sec(60),
+        900,
+    );
     // B: the other diagonal, sharing routers (but never slots) with A.
-    b.add_connection(app_b, ips[1], ips[2], Bandwidth::from_mbytes_per_sec(100), 900);
-    b.add_connection(app_b, ips[2], ips[1], Bandwidth::from_mbytes_per_sec(40), 900);
+    b.add_connection(
+        app_b,
+        ips[1],
+        ips[2],
+        Bandwidth::from_mbytes_per_sec(100),
+        900,
+    );
+    b.add_connection(
+        app_b,
+        ips[2],
+        ips[1],
+        Bandwidth::from_mbytes_per_sec(40),
+        900,
+    );
     b.build()
 }
 
@@ -55,10 +79,7 @@ fn run_case(stages: u32, kind: NetworkKind, with_b: bool) -> Vec<Vec<u64>> {
         }
     }
     net.run_cycles(8_000);
-    a_conns
-        .iter()
-        .map(|&c| net.delivery_cycles(c))
-        .collect()
+    a_conns.iter().map(|&c| net.delivery_cycles(c)).collect()
 }
 
 #[test]

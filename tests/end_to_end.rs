@@ -1,9 +1,9 @@
 //! End-to-end integration: the complete paper workflow on the Section VII
 //! platform, crossing every crate of the workspace.
 
+use aelite_analysis::service::verify_service;
 use aelite_baseline::{BeConfig, BeSim};
 use aelite_core::{measured_services_be, AeliteSystem, SimOptions};
-use aelite_analysis::service::verify_service;
 use aelite_spec::generate::{paper_workload, random_workload, WorkloadParams};
 use aelite_spec::ids::AppId;
 use aelite_spec::topology::Topology;
@@ -47,13 +47,7 @@ fn paper_headline_be_interferes_and_violates() {
         duration_cycles: DURATION,
         ..BeConfig::default()
     });
-    let service = verify_service(
-        &spec,
-        None,
-        &measured_services_be(&report),
-        DURATION,
-        0.05,
-    );
+    let service = verify_service(&spec, None, &measured_services_be(&report), DURATION, 0.05);
     assert!(
         !service.all_ok(),
         "best effort should violate tight contracts at 500 MHz"
@@ -202,7 +196,10 @@ fn buffer_sizing_analysis_predicts_throughput_stalls() {
         starved < allocated * 0.9,
         "4-word buffer should stall: {starved} vs {allocated}"
     );
-    assert!(need > 4, "analysis must flag the 4-word buffer (needs {need})");
+    assert!(
+        need > 4,
+        "analysis must flag the 4-word buffer (needs {need})"
+    );
     // Analytically-required buffer: full rate.
     let (full, allocated, _) = run(need);
     assert!(

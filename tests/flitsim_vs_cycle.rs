@@ -25,9 +25,27 @@ fn spec(stages: u32) -> SystemSpec {
     let mut b = SystemSpecBuilder::new(topo, cfg);
     let app = b.add_app("a");
     let ips: Vec<_> = (0..4).map(|i| b.add_ip_at(NiId::new(i))).collect();
-    b.add_connection(app, ips[0], ips[3], Bandwidth::from_mbytes_per_sec(125), 900);
-    b.add_connection(app, ips[1], ips[2], Bandwidth::from_mbytes_per_sec(125), 900);
-    b.add_connection(app, ips[3], ips[0], Bandwidth::from_mbytes_per_sec(125), 900);
+    b.add_connection(
+        app,
+        ips[0],
+        ips[3],
+        Bandwidth::from_mbytes_per_sec(125),
+        900,
+    );
+    b.add_connection(
+        app,
+        ips[1],
+        ips[2],
+        Bandwidth::from_mbytes_per_sec(125),
+        900,
+    );
+    b.add_connection(
+        app,
+        ips[3],
+        ips[0],
+        Bandwidth::from_mbytes_per_sec(125),
+        900,
+    );
     b.build()
 }
 
@@ -128,11 +146,13 @@ fn equivalence_holds_under_saturating_sources() {
     // the queue with enough back-to-back messages.
     let mut net = build_network(&s, &alloc, NetworkKind::Synchronous, false);
     for seq in 0..2_000 {
-        net.queue(conn).borrow_mut().push_back(aelite_noc::ni::Message {
-            seq,
-            words: 4,
-            ready_cycle: 0,
-        });
+        net.queue(conn)
+            .borrow_mut()
+            .push_back(aelite_noc::ni::Message {
+                seq,
+                words: 4,
+                ready_cycle: 0,
+            });
     }
     net.run_cycles(6_600);
     let cts = net.delivery_cycles(conn);

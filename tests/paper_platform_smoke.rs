@@ -1,0 +1,31 @@
+//! Fast tier-1 pin of the Section VII experiment platform: workload
+//! generation must keep producing exactly the paper's system, whatever
+//! happens to the generator internals or the RNG backend.
+
+use aelite_spec::generate::paper_workload;
+
+#[test]
+fn paper_workload_matches_section_vii_platform() {
+    let spec = paper_workload(42);
+    assert_eq!(
+        spec.topology().router_count(),
+        12,
+        "paper platform is a 4x3 mesh"
+    );
+    assert_eq!(
+        spec.topology().ni_count(),
+        48,
+        "paper platform has 4 NIs per router"
+    );
+    assert_eq!(spec.ip_count(), 70, "paper platform maps 70 IPs");
+    assert_eq!(
+        spec.connections().len(),
+        200,
+        "paper workload draws 200 connections"
+    );
+    assert_eq!(
+        spec.apps().len(),
+        4,
+        "paper workload divides connections across 4 applications"
+    );
+}

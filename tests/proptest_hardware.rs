@@ -156,23 +156,55 @@ fn wrapped_2x2_grid_with_crossing_traffic() {
     let log3 = token_delivery_log();
     sim.add_module(
         domains[0],
-        AsyncNi::new("ni0", ni0_r0.clone(), r0_ni0.clone(), 3, 2, &[vec![0]],
-            vec![qx], token_delivery_log()),
+        AsyncNi::new(
+            "ni0",
+            ni0_r0.clone(),
+            r0_ni0.clone(),
+            3,
+            2,
+            &[vec![0]],
+            vec![qx],
+            token_delivery_log(),
+        ),
     );
     sim.add_module(
         domains[1],
-        AsyncNi::new("ni1", ni1_r0.clone(), r0_ni1.clone(), 3, 2, &[vec![1]],
-            vec![qy], token_delivery_log()),
+        AsyncNi::new(
+            "ni1",
+            ni1_r0.clone(),
+            r0_ni1.clone(),
+            3,
+            2,
+            &[vec![1]],
+            vec![qy],
+            token_delivery_log(),
+        ),
     );
     sim.add_module(
         domains[2],
-        AsyncNi::new("ni2", ni2_r1.clone(), r1_ni2.clone(), 3, 2, &[vec![]],
-            vec![token_queue()], std::rc::Rc::clone(&log2)),
+        AsyncNi::new(
+            "ni2",
+            ni2_r1.clone(),
+            r1_ni2.clone(),
+            3,
+            2,
+            &[vec![]],
+            vec![token_queue()],
+            std::rc::Rc::clone(&log2),
+        ),
     );
     sim.add_module(
         domains[3],
-        AsyncNi::new("ni3", ni3_r1.clone(), r1_ni3.clone(), 3, 2, &[vec![]],
-            vec![token_queue()], std::rc::Rc::clone(&log3)),
+        AsyncNi::new(
+            "ni3",
+            ni3_r1.clone(),
+            r1_ni3.clone(),
+            3,
+            2,
+            &[vec![]],
+            vec![token_queue()],
+            std::rc::Rc::clone(&log3),
+        ),
     );
     sim.add_module(
         domains[4],

@@ -1,0 +1,128 @@
+//! Offline, dependency-free stand-in for the `criterion` crate.
+//!
+//! Provides `Criterion`, `Bencher`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros with compatible
+//! signatures so the workspace's benches compile (and run, printing
+//! simple wall-clock timings) without registry access. There is no
+//! statistical analysis, warm-up modelling or HTML report — swap this
+//! path dependency for the real crates.io `criterion` when network
+//! access is available.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples [`Bencher::iter`] collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            total_ns: 0,
+            iterations: 0,
+        };
+        f(&mut b);
+        if b.iterations > 0 {
+            let mean = b.total_ns as f64 / b.iterations as f64;
+            println!(
+                "bench {id:<48} {:>12.0} ns/iter ({} iters)",
+                mean, b.iterations
+            );
+        } else {
+            println!("bench {id:<48} (no iterations)");
+        }
+        self
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    total_ns: u128,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `f` `sample_size` times, accumulating wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.total_ns += start.elapsed().as_nanos();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group: a function running each target with a
+/// shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| black_box(1u64) + 1));
+    }
+
+    criterion_group! {
+        name = group;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    }
+
+    #[test]
+    fn group_runs() {
+        group();
+    }
+}

@@ -1,0 +1,528 @@
+//! Offline, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest 1.x that this workspace's property
+//! tests use: range/tuple/collection strategies, `prop_map` /
+//! `prop_flat_map`, `Just`, `prop_oneof!`, the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` attribute, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking — a failing case panics with its sampled inputs instead
+//!   of a minimized counterexample;
+//! - sampling is deterministic per test (seeded from the test name), so CI
+//!   failures always reproduce locally.
+//!
+//! Swap this path dependency for the real crates.io `proptest` when
+//! network access is available — call sites will compile unchanged.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-loop configuration and the deterministic case generator.
+
+    /// How many random cases a `proptest!` test runs, and related knobs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` sampled cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Marker for a rejected (assumption-failed) case; the runner simply
+    /// moves on to the next case.
+    #[derive(Debug)]
+    pub struct Rejected;
+
+    /// Deterministic random source driving strategy sampling
+    /// (xoshiro256++ seeded from a string, usually the test name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary label (FNV-1a hashed).
+        #[must_use]
+        pub fn deterministic(label: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut sm = h;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Returns the next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        #[inline]
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a strategy
+    /// is just a sampler.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into `f` to pick a dependent strategy.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy (parity with proptest's `boxed`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type
+    /// (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union drawing uniformly from `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Strategies for collections with sampled sizes.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use std::collections::BTreeSet;
+
+    /// An (inclusive-min, inclusive-max) size specification, convertible
+    /// from `usize`, `a..b` and `a..=b`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            let span = (self.max - self.min + 1) as u64;
+            self.min + rng.below(span) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of sampled length; see [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet`s of sampled cardinality; see [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            // The element domain must hold at least `target` distinct
+            // values (as with real proptest); the attempt cap only guards
+            // against a misused strategy looping forever.
+            let mut attempts = 0usize;
+            while set.len() < target {
+                set.insert(self.elem.sample(rng));
+                attempts += 1;
+                assert!(
+                    attempts < 100_000,
+                    "btree_set: element domain too small for requested size {target}"
+                );
+            }
+            set
+        }
+    }
+
+    /// A `BTreeSet` whose cardinality is drawn from `size` and whose
+    /// elements are drawn from `elem` (resampling duplicates).
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Runs `cases` sampled test cases (the `proptest!` macro body).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = <$crate::test_runner::Config as ::core::default::Default>::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                ::core::module_path!(), "::", ::core::stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::core::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                // A rejected case (failed prop_assume!) is simply skipped.
+                ::core::mem::drop(__outcome);
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body, panicking with the
+/// formatted message on failure (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::core::assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::core::assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::core::assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its sampled inputs violate a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Uniform choice among several strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! One-stop import for writing property tests.
+
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t1");
+        let strat = (1u32..5, 10u64..=20);
+        for _ in 0..1000 {
+            let (a, b) = strat.sample(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!((10..=20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn btree_set_hits_requested_cardinality() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t2");
+        let strat = crate::collection::btree_set(0u32..8, 3..=8);
+        for _ in 0..200 {
+            let s = strat.sample(&mut rng);
+            assert!((3..=8).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u32..10, 0u32..10), c in 0u8..4) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(u32::from(c), u32::from(c));
+        }
+
+        #[test]
+        fn oneof_and_flat_map(v in prop_oneof![Just(1u32), Just(2)], n in (1u32..4).prop_flat_map(|k| 0u32..(k + 1))) {
+            prop_assert!(v == 1 || v == 2);
+            prop_assert!(n < 4);
+        }
+    }
+}
