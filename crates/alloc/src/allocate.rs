@@ -16,7 +16,9 @@
 //!   paper: reservations "do not have to correspond to the worst-case
 //!   requirements if this is not needed").
 
-use crate::path::{route_candidates, Path};
+use crate::mask::SlotMask;
+use crate::path::Path;
+use crate::route_cache::RouteCache;
 use crate::table::{worst_window, SlotTable};
 use aelite_spec::app::SystemSpec;
 use aelite_spec::ids::{ConnId, LinkId};
@@ -323,6 +325,33 @@ impl Allocator {
     /// is that an unallocatable use case is a design-time failure, so no
     /// partial allocation is returned.
     pub fn allocate(&self, spec: &SystemSpec) -> Result<Allocation, AllocError> {
+        let mut routes = RouteCache::new(spec.topology(), self.max_paths);
+        self.allocate_with_cache(spec, &mut routes)
+    }
+
+    /// [`allocate`](Self::allocate) with a caller-supplied [`RouteCache`],
+    /// so repeated allocations over the same topology (e.g. a
+    /// design-space sweep, or re-allocation under churn) skip route
+    /// enumeration entirely after the first run.
+    ///
+    /// # Errors
+    ///
+    /// See [`allocate`](Self::allocate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routes` was built with a different `max_paths` bound
+    /// than this allocator uses (the cached candidate lists would differ).
+    pub fn allocate_with_cache(
+        &self,
+        spec: &SystemSpec,
+        routes: &mut RouteCache,
+    ) -> Result<Allocation, AllocError> {
+        assert_eq!(
+            routes.max_paths(),
+            self.max_paths,
+            "route cache was built for a different max_paths bound"
+        );
         let salts: &[u32] = if self.phase_salts.is_empty() {
             &[13]
         } else {
@@ -335,7 +364,7 @@ impl Allocator {
             // so X picks its slots while the tables are still unfragmented.
             let mut promoted: Vec<ConnId> = Vec::new();
             loop {
-                match self.allocate_pass(spec, salt, &promoted) {
+                match self.allocate_pass(spec, salt, &promoted, routes) {
                     Ok(a) => return Ok(a),
                     Err(e) => {
                         let failed = match &e {
@@ -363,6 +392,7 @@ impl Allocator {
         spec: &SystemSpec,
         salt: u32,
         promoted: &[ConnId],
+        routes: &mut RouteCache,
     ) -> Result<Allocation, AllocError> {
         let mut alloc = Allocation::empty(spec);
 
@@ -370,21 +400,28 @@ impl Allocator {
         // count the grant will end up with — the bandwidth minimum or, for
         // tight deadlines, the count forced by the required injection gap
         // (estimated over the shortest route's pipeline delay). Promoted
-        // connections (from failed passes) go first regardless.
+        // connections (from failed passes) go first regardless; a boolean
+        // mask keeps the exclusion O(1) per connection, and the cached key
+        // keeps `estimate_slots` at one evaluation per connection instead
+        // of one per comparison.
+        let mut is_promoted = vec![false; spec.conn_id_bound()];
+        for p in promoted {
+            is_promoted[p.index()] = true;
+        }
         let mut order: Vec<ConnId> = spec
             .connections()
             .iter()
             .map(|c| c.id)
-            .filter(|id| !promoted.contains(id))
+            .filter(|id| !is_promoted[id.index()])
             .collect();
-        order.sort_by_key(|&id| {
+        order.sort_by_cached_key(|&id| {
             let c = spec.connection(id);
             let est = estimate_slots(spec, id);
             (core::cmp::Reverse(est), c.max_latency_ns, id)
         });
 
         for &conn in promoted.iter().chain(order.iter()) {
-            self.allocate_one(spec, &mut alloc, conn, salt)?;
+            self.allocate_one(spec, &mut alloc, conn, salt, routes)?;
         }
         Ok(alloc)
     }
@@ -395,6 +432,7 @@ impl Allocator {
         alloc: &mut Allocation,
         conn: ConnId,
         salt: u32,
+        routes: &mut RouteCache,
     ) -> Result<(), AllocError> {
         let cfg = spec.config();
         let c = spec.connection(conn);
@@ -405,37 +443,50 @@ impl Allocator {
         // The latency contract is per flit (see worst_case_latency_cycles).
         let m = 1;
 
-        let candidates = route_candidates(spec.topology(), src_ni, dst_ni, self.max_paths);
-        if candidates.is_empty() {
-            return Err(AllocError::NoRoute { conn });
-        }
-
         let mut best_available = 0u32;
         let mut best_latency_cycles = u64::MAX;
         let latency_budget_cycles = (c.max_latency_ns as f64 / cfg.cycle_ns()).floor() as u64;
+        let shift = cfg.slots_per_hop();
 
-        for path in candidates {
-            let links = path
-                .links(spec.topology())
-                .expect("route_candidates returns valid paths");
-            // Injection slots whose shifted positions are free on every link.
-            let shift = cfg.slots_per_hop();
-            let free: Vec<u32> = (0..size)
-                .filter(|&s| {
-                    links
-                        .iter()
-                        .enumerate()
-                        .all(|(i, &l)| alloc.link_tables[l.index()].is_free(s + i as u32 * shift))
-                })
-                .collect();
-            best_available = best_available.max(free.len() as u32);
-            if (free.len() as u32) < needed {
+        // Scratch reused across candidate paths: the bitset of injection
+        // slots free on every link, a working copy for the selection
+        // kernels, and a slot list materialised only on failure paths.
+        let mut cand = SlotMask::new_full(size);
+        let mut work = SlotMask::new_empty(size);
+        let mut all_free: Vec<u32> = Vec::new();
+
+        // Candidates are pulled from the cache one index at a time, so the
+        // expensive detour enumeration only runs for connections that
+        // exhaust the dimension-ordered routes.
+        let mut tried = 0usize;
+        while let Some(route) = routes.candidate(spec.topology(), src_ni, dst_ni, tried) {
+            tried += 1;
+            let links = &route.links;
+            // Injection slots whose shifted positions are free on every
+            // link: the circular-rotate-and-AND kernel, O(links × size/64).
+            cand.fill();
+            for (i, &l) in links.iter().enumerate() {
+                cand.and_rotated(
+                    alloc.link_tables[l.index()].free_mask(),
+                    (i as u32 * shift) % size,
+                );
+            }
+            let free_count = cand.count();
+            best_available = best_available.max(free_count);
+            if free_count < needed {
                 continue;
             }
 
-            let pipeline = pipeline_cycles(cfg, path.link_count());
+            let pipeline = pipeline_cycles(cfg, route.path.link_count());
             let latency_of = |slots: &[u32]| {
                 u64::from(worst_window(slots, size, m)) * u64::from(cfg.slot_cycles()) + pipeline
+            };
+            // Hypothetical best latency with *all* free slots taken, used
+            // only when this path is rejected for latency.
+            let latency_of_all = |all: &mut Vec<u32>| {
+                all.clear();
+                all.extend(cand.iter_ones());
+                latency_of(all)
             };
 
             // The deadline allows an injection gap of at most `allowed_gap`
@@ -446,15 +497,22 @@ impl Allocator {
             if self.latency_aware && allowed_gap == 0 {
                 // Even an immediately-due slot would miss the deadline on
                 // this path; record the hypothetical best and move on.
-                best_latency_cycles = best_latency_cycles.min(latency_of(&free));
+                best_latency_cycles = best_latency_cycles.min(latency_of_all(&mut all_free));
                 continue;
             }
 
             let mut chosen = if self.latency_aware && allowed_gap < size {
-                match cover_with_gap(&free, allowed_gap, size) {
-                    Some(cover) => cover,
+                match cover_with_gap(&cand, allowed_gap, size) {
+                    Some(cover) => {
+                        work.copy_from(&cand);
+                        for &s in &cover {
+                            work.clear(s);
+                        }
+                        cover
+                    }
                     None => {
-                        best_latency_cycles = best_latency_cycles.min(latency_of(&free));
+                        best_latency_cycles =
+                            best_latency_cycles.min(latency_of_all(&mut all_free));
                         continue;
                     }
                 }
@@ -462,13 +520,16 @@ impl Allocator {
                 // No latency pressure: stagger the spread per connection so
                 // unrelated connections don't pile onto the same phase.
                 let phase = (conn.index() as u32).wrapping_mul(salt) % size;
-                spread_selection(&free, needed, size, phase)
+                work.copy_from(&cand);
+                spread_selection(&mut work, needed, size, phase)
             };
 
-            // Top up to the bandwidth minimum, filling the largest gaps.
+            // Top up to the bandwidth minimum, filling the largest gaps
+            // (`work` holds the free slots not yet chosen).
             while (chosen.len() as u32) < needed {
-                match best_gap_filler(&chosen, &free, size) {
+                match best_gap_filler(&chosen, &work, size) {
                     Some(extra) => {
+                        work.clear(extra);
                         chosen.push(extra);
                         chosen.sort_unstable();
                     }
@@ -495,13 +556,16 @@ impl Allocator {
             }
             alloc.grants[conn.index()] = Some(Grant {
                 conn,
-                path,
+                path: route.path.clone(),
                 inject_slots: chosen,
-                links,
+                links: links.clone(),
             });
             return Ok(());
         }
 
+        if tried == 0 {
+            return Err(AllocError::NoRoute { conn });
+        }
         if best_available < needed {
             Err(AllocError::InsufficientSlots {
                 conn,
@@ -533,95 +597,104 @@ pub fn allocate(spec: &SystemSpec) -> Result<Allocation, AllocError> {
     Allocator::new().allocate(spec)
 }
 
-/// Picks `needed` slots from `free` (ascending) as close as possible to an
-/// ideal even spread over the table, anchored at `phase`.
-fn spread_selection(free: &[u32], needed: u32, size: u32, phase: u32) -> Vec<u32> {
-    debug_assert!(free.len() >= needed as usize);
+/// Picks `needed` slots from the set bits of `avail` as close as possible
+/// to an ideal even spread over the table, anchored at `phase`, clearing
+/// each pick from `avail` (on return, `avail` holds the unchosen slots).
+///
+/// Each pick is a word-level nearest-set-bit scan ([`SlotMask::nearest_one`]
+/// breaks distance ties towards the smaller slot, matching the original
+/// first-minimum scan over an ascending free list), so the kernel runs in
+/// O(needed × size/64) with no inner-loop allocation — the original
+/// scanned the whole free list and a `chosen.contains` per candidate,
+/// O(needed² × free).
+fn spread_selection(avail: &mut SlotMask, needed: u32, size: u32, phase: u32) -> Vec<u32> {
+    debug_assert!(avail.count() >= needed);
     let mut chosen: Vec<u32> = Vec::with_capacity(needed as usize);
     for i in 0..needed {
         let ideal = (phase + (u64::from(i) * u64::from(size) / u64::from(needed)) as u32) % size;
-        // Nearest free slot (circular distance) not yet chosen.
-        let pick = free
-            .iter()
-            .copied()
-            .filter(|s| !chosen.contains(s))
-            .min_by_key(|&s| {
-                let d = s.abs_diff(ideal);
-                d.min(size - d)
-            });
-        if let Some(s) = pick {
+        if let Some(s) = avail.nearest_one(ideal) {
             chosen.push(s);
+            avail.clear(s);
         }
     }
     chosen.sort_unstable();
     chosen
 }
 
-/// Chooses a minimal set of slots from `free` whose circular gaps never
-/// exceed `gap`, or `None` if impossible.
+/// Chooses a minimal set of slots from the set bits of `free` whose
+/// circular gaps never exceed `gap`, or `None` if impossible.
 ///
 /// Classic circular greedy cover: from a fixed start, repeatedly jump to
-/// the farthest free slot within `gap`; this is optimal for that start, so
-/// trying every free start finds a cover whenever one exists.
-fn cover_with_gap(free: &[u32], gap: u32, size: u32) -> Option<Vec<u32>> {
-    if free.is_empty() || gap == 0 {
+/// the farthest free slot within `gap`. A cover exists iff no circular gap
+/// between consecutive free slots exceeds `gap` — checked up front with
+/// one word-level scan — and in that case the greedy walk from the first
+/// free slot always succeeds, which is exactly the cover the original
+/// every-start search returned (it tried starts in ascending order and
+/// the first start either succeeds or none do). Each jump is one
+/// backwards bit scan, with no per-start retry loop and no inner-loop
+/// allocation.
+fn cover_with_gap(free: &SlotMask, gap: u32, size: u32) -> Option<Vec<u32>> {
+    if gap == 0 {
+        return None;
+    }
+    if free.max_circular_gap()? > gap {
         return None;
     }
     // Forward circular distance from a to b, in 1..=size (b == a -> size).
     let fwd = |a: u32, b: u32| (b + size - a - 1) % size + 1;
-    'starts: for &start in free {
-        let mut chosen = vec![start];
-        let mut cur = start;
-        loop {
-            // When the forward distance back to the start is within the
-            // allowed gap, the circle is covered.
-            if fwd(cur, start) <= gap {
-                chosen.sort_unstable();
-                return Some(chosen);
-            }
-            // Jump to the farthest free slot within `gap` ahead. Because
-            // the distance back to start still exceeds `gap`, this can
-            // never overshoot the start.
-            let next = free
-                .iter()
-                .copied()
-                .filter(|&f| f != cur && fwd(cur, f) <= gap)
-                .max_by_key(|&f| fwd(cur, f));
-            match next {
-                Some(f) => {
-                    chosen.push(f);
-                    cur = f;
-                }
-                None => continue 'starts,
-            }
+    let start = free.first_one().expect("non-empty: gap check passed");
+    let mut chosen = vec![start];
+    let mut cur = start;
+    loop {
+        // When the forward distance back to the start is within the
+        // allowed gap, the circle is covered.
+        if fwd(cur, start) <= gap {
+            chosen.sort_unstable();
+            return Some(chosen);
         }
+        // Jump to the farthest free slot within `gap` ahead: the first set
+        // bit at or before `cur + gap`, scanning backwards. Because every
+        // free-to-free gap is within `gap`, the scan always lands in
+        // (cur, cur + gap]; because the distance back to start still
+        // exceeds `gap`, it can never overshoot the start.
+        let next = free
+            .prev_one_circular((cur + gap) % size)
+            .expect("free set is non-empty");
+        debug_assert!(next != cur && fwd(cur, next) <= gap);
+        chosen.push(next);
+        cur = next;
     }
-    None
 }
 
-/// The free slot that best fills the largest gap of `chosen`, if any
-/// unchosen free slot exists.
-fn best_gap_filler(chosen: &[u32], free: &[u32], size: u32) -> Option<u32> {
-    let g = crate::table::gaps(chosen, size);
-    if g.is_empty() {
-        return free.iter().copied().find(|s| !chosen.contains(s));
+/// The slot from `avail` (free and not yet chosen) that best fills the
+/// largest gap of `chosen`, if any.
+///
+/// Mirrors the original list-based kernel: the *last* largest gap wins
+/// (matching `max_by_key` tie-breaking), and the nearest available slot to
+/// that gap's midpoint is returned with ties to the smaller slot — but the
+/// gap scan is allocation-free and the nearest-slot probe is a word scan.
+fn best_gap_filler(chosen: &[u32], avail: &SlotMask, size: u32) -> Option<u32> {
+    let Some(&first) = chosen.first() else {
+        return avail.first_one();
+    };
+    // Largest circular gap of `chosen` (ascending); on ties the later gap
+    // wins, as with `enumerate().max_by_key(gap)` over the gap list.
+    let n = chosen.len();
+    let mut best_start = 0u32;
+    let mut best_len = 0u32;
+    for i in 0..n {
+        let len = if i + 1 < n {
+            chosen[i + 1] - chosen[i]
+        } else {
+            size - chosen[i] + first
+        };
+        if len >= best_len {
+            best_len = len;
+            best_start = chosen[i];
+        }
     }
-    // Midpoint of the largest gap.
-    let (start_idx, _) = g
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &gap)| gap)
-        .expect("gaps non-empty");
-    let gap_start = chosen[start_idx];
-    let gap_len = g[start_idx];
-    let target = (gap_start + gap_len / 2) % size;
-    free.iter()
-        .copied()
-        .filter(|s| !chosen.contains(s))
-        .min_by_key(|&s| {
-            let d = s.abs_diff(target);
-            d.min(size - d)
-        })
+    let target = (best_start + best_len / 2) % size;
+    avail.nearest_one(target)
 }
 
 #[cfg(test)]
@@ -791,11 +864,108 @@ mod tests {
 
     #[test]
     fn spread_selection_is_even_when_table_free() {
-        let free: Vec<u32> = (0..32).collect();
-        let chosen = spread_selection(&free, 4, 32, 0);
+        let mut avail = SlotMask::new_full(32);
+        let chosen = spread_selection(&mut avail, 4, 32, 0);
         assert_eq!(chosen, vec![0, 8, 16, 24]);
-        let staggered = spread_selection(&free, 4, 32, 5);
+        // The picks are consumed from the working mask.
+        assert_eq!(avail.count(), 28);
+        assert!(!avail.get(8));
+        let mut avail = SlotMask::new_full(32);
+        let staggered = spread_selection(&mut avail, 4, 32, 5);
         assert_eq!(staggered, vec![5, 13, 21, 29]);
+    }
+
+    #[test]
+    fn spread_selection_matches_first_minimum_scan() {
+        // Pin the kernel against the original list-based selection: the
+        // nearest free slot by circular distance, ties to the smaller
+        // slot, each pick excluded from later rounds.
+        fn reference(free: &[u32], needed: u32, size: u32, phase: u32) -> Vec<u32> {
+            let mut chosen: Vec<u32> = Vec::new();
+            for i in 0..needed {
+                let ideal =
+                    (phase + (u64::from(i) * u64::from(size) / u64::from(needed)) as u32) % size;
+                let pick = free
+                    .iter()
+                    .copied()
+                    .filter(|s| !chosen.contains(s))
+                    .min_by_key(|&s| {
+                        let d = s.abs_diff(ideal);
+                        d.min(size - d)
+                    });
+                if let Some(s) = pick {
+                    chosen.push(s);
+                }
+            }
+            chosen.sort_unstable();
+            chosen
+        }
+        for size in [8u32, 32, 64, 100] {
+            let free: Vec<u32> = (0..size).filter(|s| (s * 17 + 1) % 5 < 3).collect();
+            for needed in [1u32, 3, 7] {
+                if (free.len() as u32) < needed {
+                    // Callers only invoke the kernel with enough free slots.
+                    continue;
+                }
+                for phase in [0u32, 5, size - 1] {
+                    let mut avail = SlotMask::from_slots(size, &free);
+                    assert_eq!(
+                        spread_selection(&mut avail, needed, size, phase),
+                        reference(&free, needed, size, phase),
+                        "size {size} needed {needed} phase {phase}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_with_gap_matches_every_start_search() {
+        // Pin the kernel against the original try-every-start greedy.
+        fn reference(free: &[u32], gap: u32, size: u32) -> Option<Vec<u32>> {
+            if free.is_empty() || gap == 0 {
+                return None;
+            }
+            let fwd = |a: u32, b: u32| (b + size - a - 1) % size + 1;
+            'starts: for &start in free {
+                let mut chosen = vec![start];
+                let mut cur = start;
+                loop {
+                    if fwd(cur, start) <= gap {
+                        chosen.sort_unstable();
+                        return Some(chosen);
+                    }
+                    let next = free
+                        .iter()
+                        .copied()
+                        .filter(|&f| f != cur && fwd(cur, f) <= gap)
+                        .max_by_key(|&f| fwd(cur, f));
+                    match next {
+                        Some(f) => {
+                            chosen.push(f);
+                            cur = f;
+                        }
+                        None => continue 'starts,
+                    }
+                }
+            }
+            None
+        }
+        for size in [8u32, 32, 64, 100] {
+            let free: Vec<u32> = (0..size).filter(|s| (s * 13 + 3) % 7 < 3).collect();
+            let mask = SlotMask::from_slots(size, &free);
+            for gap in [0u32, 1, 2, 5, size / 2, size - 1] {
+                assert_eq!(
+                    cover_with_gap(&mask, gap, size),
+                    reference(&free, gap, size),
+                    "size {size} gap {gap}"
+                );
+            }
+        }
+        // Sparse sets where no cover exists.
+        let mask = SlotMask::from_slots(64, &[0, 40]);
+        assert_eq!(cover_with_gap(&mask, 10, 64), None);
+        assert_eq!(reference(&[0, 40], 10, 64), None);
     }
 
     #[test]

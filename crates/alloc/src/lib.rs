@@ -6,6 +6,9 @@
 //! same slot (the paper's contention-free routing, Section III).
 //!
 //! * [`path`] — source-route paths and minimal-hop route enumeration.
+//! * [`mask`] — word-level bitset kernels (rotate-and-AND, bit scans)
+//!   behind the allocator's hot path.
+//! * [`route_cache`] — memoized route candidates per (src, dst) NI pair.
 //! * [`table`] — per-link slot tables, gap and worst-window arithmetic.
 //! * [`mod@allocate`] — the greedy hardest-first allocator.
 //! * [`validate`] — an independent checker that re-derives every guarantee.
@@ -29,13 +32,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod allocate;
+pub mod mask;
 pub mod path;
 pub mod reconfigure;
+pub mod route_cache;
 pub mod table;
 pub mod validate;
 
 pub use allocate::{allocate, AllocError, Allocation, Allocator, Grant};
+pub use mask::SlotMask;
 pub use path::{dimension_ordered, route_candidates, Path, PathError};
 pub use reconfigure::release;
+pub use route_cache::{CachedRoute, RouteCache};
 pub use table::{gaps, worst_window, SlotTable};
 pub use validate::{validate as validate_allocation, Violation};

@@ -238,6 +238,24 @@ pub const ROUTE_SLACK_HOPS: u32 = 2;
 /// Always returns at least one path when the NIs are connected.
 #[must_use]
 pub fn route_candidates(topo: &Topology, src: NiId, dst: NiId, max: usize) -> Vec<Path> {
+    let (mut out, complete) = initial_candidates(topo, src, dst, max);
+    if !complete {
+        detour_candidates(topo, src, dst, max, &mut out);
+    }
+    out
+}
+
+/// The cheap first stage of [`route_candidates`]: the dimension-ordered
+/// XY and YX routes (deduplicated). Returns the prefix of the candidate
+/// list and whether it is already complete (`max` reached), letting the
+/// route cache defer the expensive DFS stage until a caller actually
+/// exhausts these candidates.
+pub(crate) fn initial_candidates(
+    topo: &Topology,
+    src: NiId,
+    dst: NiId,
+    max: usize,
+) -> (Vec<Path>, bool) {
     let mut out: Vec<Path> = Vec::new();
     for x_first in [true, false] {
         if let Some(p) = dimension_ordered(topo, src, dst, x_first) {
@@ -248,8 +266,22 @@ pub fn route_candidates(topo: &Topology, src: NiId, dst: NiId, max: usize) -> Ve
     }
     if out.len() >= max {
         out.truncate(max);
-        return out;
+        (out, true)
+    } else {
+        (out, false)
     }
+}
+
+/// The second stage of [`route_candidates`]: appends every other simple
+/// path within [`ROUTE_SLACK_HOPS`] of the minimum (ordered by length,
+/// deduplicated against `out`) until `max` candidates are collected.
+pub(crate) fn detour_candidates(
+    topo: &Topology,
+    src: NiId,
+    dst: NiId,
+    max: usize,
+    out: &mut Vec<Path>,
+) {
     let mut extra = bounded_paths(topo, src, dst, ROUTE_SLACK_HOPS, max.saturating_mul(4));
     extra.sort_by_key(Path::router_count);
     for p in extra {
@@ -260,7 +292,6 @@ pub fn route_candidates(topo: &Topology, src: NiId, dst: NiId, max: usize) -> Ve
             out.push(p);
         }
     }
-    out
 }
 
 /// All simple router-level paths between two NIs whose router-hop count is
@@ -288,44 +319,91 @@ fn bounded_paths(topo: &Topology, src: NiId, dst: NiId, slack: u32, cap: usize) 
     }
     let limit = dist[start.index()] + slack;
 
-    // DFS with a hop budget; `visited` keeps paths simple.
+    // Depth-first search with a hop budget; `visited` keeps paths simple.
+    // Backtracking shares one `visited` vector and one `ports` prefix
+    // across the whole walk, so nothing is allocated per expansion — only
+    // per emitted result. Children are explored in reverse port order,
+    // which is exactly the order the previous explicit-stack (LIFO)
+    // implementation popped them in, preserving result order bit-for-bit.
     let mut results = Vec::new();
-    let mut stack: Vec<(RouterId, Vec<Port>, Vec<bool>)> = {
-        let mut visited = vec![false; topo.router_count()];
-        visited[start.index()] = true;
-        vec![(start, Vec::new(), visited)]
-    };
-    while let Some((r, ports, visited)) = stack.pop() {
-        if results.len() >= cap {
-            break;
-        }
-        if r == goal {
-            let mut full = ports.clone();
-            if let Some(last) = topo.port_towards(r, PortTarget::Ni(dst)) {
-                full.push(last);
-                results.push(Path {
-                    src,
-                    dst,
-                    ports: full,
-                });
-            }
-            continue;
-        }
-        for (port, target) in topo.ports(r) {
-            if let PortTarget::Router(n) = target {
-                let hops_if_taken = ports.len() as u32 + 1;
-                if !visited[n.index()] && hops_if_taken + dist[n.index()] <= limit {
-                    let mut next = ports.clone();
-                    next.push(port);
-                    let mut v = visited.clone();
-                    v[n.index()] = true;
-                    stack.push((n, next, v));
-                }
-            }
-        }
-    }
+    let mut visited = vec![false; topo.router_count()];
+    visited[start.index()] = true;
+    let mut ports: Vec<Port> = Vec::new();
+    dfs_bounded(
+        topo,
+        DfsGoal { src, dst, goal },
+        start,
+        &dist,
+        limit,
+        cap,
+        &mut visited,
+        &mut ports,
+        &mut results,
+    );
     results
 }
+
+/// The fixed parameters of one [`bounded_paths`] search.
+#[derive(Clone, Copy)]
+struct DfsGoal {
+    src: NiId,
+    dst: NiId,
+    goal: RouterId,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_bounded(
+    topo: &Topology,
+    g: DfsGoal,
+    r: RouterId,
+    dist: &[u32],
+    limit: u32,
+    cap: usize,
+    visited: &mut [bool],
+    ports: &mut Vec<Port>,
+    results: &mut Vec<Path>,
+) {
+    if results.len() >= cap {
+        return;
+    }
+    if r == g.goal {
+        if let Some(last) = topo.port_towards(r, PortTarget::Ni(g.dst)) {
+            let mut full = ports.clone();
+            full.push(last);
+            results.push(Path {
+                src: g.src,
+                dst: g.dst,
+                ports: full,
+            });
+        }
+        return;
+    }
+    // Buffer the router's ports so they can be walked in reverse without
+    // allocating (router arity is small and bounded).
+    let mut buf = [(Port(0), RouterId::new(0)); MAX_ROUTER_ARITY];
+    let mut n = 0;
+    for (port, target) in topo.ports(r) {
+        if let PortTarget::Router(next) = target {
+            assert!(n < MAX_ROUTER_ARITY, "router arity exceeds DFS buffer");
+            buf[n] = (port, next);
+            n += 1;
+        }
+    }
+    let hops_if_taken = ports.len() as u32 + 1;
+    for &(port, next) in buf[..n].iter().rev() {
+        if !visited[next.index()] && hops_if_taken + dist[next.index()] <= limit {
+            visited[next.index()] = true;
+            ports.push(port);
+            dfs_bounded(topo, g, next, dist, limit, cap, visited, ports, results);
+            ports.pop();
+            visited[next.index()] = false;
+        }
+    }
+}
+
+/// Upper bound on router arity assumed by the path search's stack buffer
+/// (the paper evaluates arities 2–7; 32 leaves generous headroom).
+const MAX_ROUTER_ARITY: usize = 32;
 
 #[cfg(test)]
 mod tests {

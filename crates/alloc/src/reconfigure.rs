@@ -17,6 +17,7 @@
 //! during and after a reconfiguration — tested below and at system level.
 
 use crate::allocate::{AllocError, Allocation, Allocator};
+use crate::route_cache::RouteCache;
 use aelite_spec::app::SystemSpec;
 use aelite_spec::ids::ConnId;
 
@@ -51,10 +52,39 @@ impl Allocator {
         alloc: &mut Allocation,
         new_conns: &[ConnId],
     ) -> Result<(), AllocError> {
+        let mut routes = RouteCache::new(spec.topology(), self.max_paths);
+        self.extend_with_cache(spec, alloc, new_conns, &mut routes)
+    }
+
+    /// [`extend`](Self::extend) with a caller-supplied [`RouteCache`], so
+    /// a long-running reconfiguration flow (repeated application swaps on
+    /// one platform) enumerates each NI pair's routes at most once across
+    /// its whole lifetime.
+    ///
+    /// # Errors
+    ///
+    /// See [`extend`](Self::extend).
+    ///
+    /// # Panics
+    ///
+    /// As [`extend`](Self::extend); additionally panics if `routes` was
+    /// built with a different `max_paths` bound than this allocator uses.
+    pub fn extend_with_cache(
+        &self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        new_conns: &[ConnId],
+        routes: &mut RouteCache,
+    ) -> Result<(), AllocError> {
         assert_eq!(
             alloc.table_size(),
             spec.config().slot_table_size,
             "allocation and spec disagree on the slot-table size"
+        );
+        assert_eq!(
+            routes.max_paths(),
+            self.max_paths,
+            "route cache was built for a different max_paths bound"
         );
         for &c in new_conns {
             assert!(
@@ -65,7 +95,7 @@ impl Allocator {
         alloc.grow_for(spec);
 
         let mut order: Vec<ConnId> = new_conns.to_vec();
-        order.sort_by_key(|&id| {
+        order.sort_by_cached_key(|&id| {
             (
                 core::cmp::Reverse(crate::allocate::estimate_slots(spec, id)),
                 spec.connection(id).max_latency_ns,
@@ -81,7 +111,7 @@ impl Allocator {
             };
             let mut done = false;
             for &salt in salts {
-                match self.allocate_one(spec, alloc, conn, salt) {
+                match self.allocate_one(spec, alloc, conn, salt, routes) {
                     Ok(()) => {
                         done = true;
                         break;

@@ -1,0 +1,315 @@
+//! Memoized, lazily materialized route enumeration for the allocator.
+//!
+//! [`route_candidates`](crate::path::route_candidates) runs a BFS plus a
+//! bounded DFS per call — by far the most expensive part of allocating one
+//! connection. The allocator, however, asks for the same (source NI,
+//! destination NI) pair over and over: once per rip-up retry, once per
+//! phase salt, and again for every connection sharing the pair, and the
+//! answer never changes because candidate routes depend only on the
+//! topology. [`RouteCache`] computes each pair's candidates — and each
+//! path's link list — at most once, keyed by a dense
+//! `src × ni_count + dst` index.
+//!
+//! On top of memoization the cache materializes candidates *lazily*, in
+//! the two stages [`route_candidates`] already has: the dimension-ordered
+//! XY/YX routes are computed on first touch, and the DFS detour
+//! enumeration runs only if a caller actually walks past them. The
+//! allocator commits to the first feasible candidate, which under light
+//! contention is almost always XY or YX, so most pairs never pay for the
+//! DFS at all — while the candidate *sequence* observed by callers is
+//! identical to an eager enumeration.
+
+use crate::path::{detour_candidates, initial_candidates, Path};
+use aelite_spec::ids::{LinkId, NiId};
+use aelite_spec::topology::Topology;
+
+/// A candidate route with its precomputed link list.
+#[derive(Debug, Clone)]
+pub struct CachedRoute {
+    /// The source route.
+    pub path: Path,
+    /// The links of [`path`](Self::path) in traversal order (the NI
+    /// ingress link first).
+    pub links: Vec<LinkId>,
+}
+
+/// How much of a pair's candidate list has been materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum EntryState {
+    /// Nothing computed yet.
+    #[default]
+    Untouched,
+    /// XY/YX stage done; the DFS detour stage still pending.
+    Partial,
+    /// The full candidate list is present.
+    Complete,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    routes: Vec<CachedRoute>,
+    state: EntryState,
+}
+
+/// Memoizes [`route_candidates`] plus link lists per (src, dst) NI pair.
+///
+/// Reusable across every pass, salt, and reconfiguration step that shares
+/// a topology and `max_paths` bound. Entries are filled lazily on first
+/// use (and the expensive detour stage only on demand), so sparse traffic
+/// patterns only ever pay for the pairs — and the path diversity — they
+/// actually touch.
+///
+/// # Examples
+///
+/// ```
+/// use aelite_alloc::route_cache::RouteCache;
+/// use aelite_spec::ids::NiId;
+/// use aelite_spec::topology::Topology;
+///
+/// let topo = Topology::mesh(2, 2, 1);
+/// let mut cache = RouteCache::new(&topo, 4);
+/// let routes = cache.candidates(&topo, NiId::new(0), NiId::new(3));
+/// assert!(!routes.is_empty());
+/// assert_eq!(routes[0].links.len(), routes[0].path.link_count());
+/// ```
+#[derive(Debug)]
+pub struct RouteCache {
+    max_paths: usize,
+    ni_count: usize,
+    router_count: usize,
+    link_count: usize,
+    entries: Vec<Entry>,
+}
+
+impl RouteCache {
+    /// Creates an empty cache for `topo`, enumerating at most `max_paths`
+    /// candidates per pair.
+    #[must_use]
+    pub fn new(topo: &Topology, max_paths: usize) -> Self {
+        let ni_count = topo.ni_count();
+        RouteCache {
+            max_paths,
+            ni_count,
+            router_count: topo.router_count(),
+            link_count: topo.link_count(),
+            entries: vec![Entry::default(); ni_count * ni_count],
+        }
+    }
+
+    /// The `max_paths` bound this cache was built with.
+    #[must_use]
+    pub fn max_paths(&self) -> usize {
+        self.max_paths
+    }
+
+    /// Cached routes are only valid for the topology the cache was built
+    /// for; reject anything whose shape (NI/router/link counts) differs.
+    /// A distinct topology with identical counts cannot be detected — it
+    /// is the caller's contract to keep one cache per topology.
+    fn check_topology(&self, topo: &Topology, src: NiId, dst: NiId) {
+        assert!(
+            topo.ni_count() == self.ni_count
+                && topo.router_count() == self.router_count
+                && topo.link_count() == self.link_count,
+            "topology shape changed; rebuild the route cache for it"
+        );
+        assert!(
+            src.index() < self.ni_count && dst.index() < self.ni_count,
+            "NI out of range for this cache; rebuild it for the new topology"
+        );
+    }
+
+    fn pair_index(&self, src: NiId, dst: NiId) -> usize {
+        src.index() * self.ni_count + dst.index()
+    }
+
+    fn materialize(topo: &Topology, paths: &[Path]) -> Vec<CachedRoute> {
+        paths
+            .iter()
+            .map(|path| {
+                let links = path
+                    .links(topo)
+                    .expect("route_candidates returns valid paths");
+                CachedRoute {
+                    path: path.clone(),
+                    links,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the XY/YX stage if the entry is untouched.
+    fn ensure_initial(&mut self, topo: &Topology, src: NiId, dst: NiId, idx: usize) {
+        if self.entries[idx].state != EntryState::Untouched {
+            return;
+        }
+        let (paths, complete) = initial_candidates(topo, src, dst, self.max_paths);
+        self.entries[idx] = Entry {
+            routes: Self::materialize(topo, &paths),
+            state: if complete {
+                EntryState::Complete
+            } else {
+                EntryState::Partial
+            },
+        };
+    }
+
+    /// Runs the DFS detour stage if it is still pending.
+    fn ensure_complete(&mut self, topo: &Topology, src: NiId, dst: NiId, idx: usize) {
+        self.ensure_initial(topo, src, dst, idx);
+        if self.entries[idx].state == EntryState::Complete {
+            return;
+        }
+        let mut paths: Vec<Path> = self.entries[idx]
+            .routes
+            .iter()
+            .map(|r| r.path.clone())
+            .collect();
+        let prefix = paths.len();
+        detour_candidates(topo, src, dst, self.max_paths, &mut paths);
+        let tail = Self::materialize(topo, &paths[prefix..]);
+        let entry = &mut self.entries[idx];
+        entry.routes.extend(tail);
+        entry.state = EntryState::Complete;
+    }
+
+    /// The `i`-th candidate route from `src` to `dst` (shortest first), or
+    /// `None` when fewer than `i + 1` candidates exist. Materializes the
+    /// expensive detour stage only when `i` walks past the XY/YX routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo`'s shape differs from the topology the cache was
+    /// created for, or `src`/`dst` lie outside it (the cache must be
+    /// rebuilt when the topology changes).
+    pub fn candidate(
+        &mut self,
+        topo: &Topology,
+        src: NiId,
+        dst: NiId,
+        i: usize,
+    ) -> Option<&CachedRoute> {
+        self.check_topology(topo, src, dst);
+        let idx = self.pair_index(src, dst);
+        self.ensure_initial(topo, src, dst, idx);
+        if i >= self.entries[idx].routes.len() && self.entries[idx].state == EntryState::Partial {
+            self.ensure_complete(topo, src, dst, idx);
+        }
+        self.entries[idx].routes.get(i)
+    }
+
+    /// The full candidate list from `src` to `dst`, shortest first,
+    /// computing and memoizing it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo`'s shape differs from the topology the cache was
+    /// created for, or `src`/`dst` lie outside it (the cache must be
+    /// rebuilt when the topology changes).
+    pub fn candidates(&mut self, topo: &Topology, src: NiId, dst: NiId) -> &[CachedRoute] {
+        self.check_topology(topo, src, dst);
+        let idx = self.pair_index(src, dst);
+        self.ensure_complete(topo, src, dst, idx);
+        &self.entries[idx].routes
+    }
+
+    /// How many (src, dst) pairs have been (at least partially) computed.
+    #[must_use]
+    pub fn cached_pairs(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.state != EntryState::Untouched)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::route_candidates;
+
+    #[test]
+    fn cache_returns_same_routes_as_direct_enumeration() {
+        let topo = Topology::mesh(3, 3, 2);
+        let mut cache = RouteCache::new(&topo, 8);
+        for src in 0..topo.ni_count() as u32 {
+            for dst in 0..topo.ni_count() as u32 {
+                let (s, d) = (NiId::new(src), NiId::new(dst));
+                let direct = route_candidates(&topo, s, d, 8);
+                let cached = cache.candidates(&topo, s, d);
+                assert_eq!(cached.len(), direct.len(), "{s}->{d}");
+                for (c, p) in cached.iter().zip(&direct) {
+                    assert_eq!(&c.path, p, "{s}->{d}");
+                    assert_eq!(c.links, p.links(&topo).unwrap(), "{s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_indexing_matches_eager_enumeration() {
+        // Walking candidates one index at a time — including past the
+        // XY/YX prefix — yields exactly the eager list, in order.
+        let topo = Topology::mesh(4, 3, 2);
+        for (src, dst) in [(0u32, 21u32), (2, 3), (5, 5), (0, 23)] {
+            let (s, d) = (NiId::new(src), NiId::new(dst));
+            let direct = route_candidates(&topo, s, d, 12);
+            let mut cache = RouteCache::new(&topo, 12);
+            let mut walked = Vec::new();
+            let mut i = 0;
+            while let Some(r) = cache.candidate(&topo, s, d, i) {
+                walked.push(r.path.clone());
+                i += 1;
+            }
+            assert_eq!(walked, direct, "{s}->{d}");
+        }
+    }
+
+    #[test]
+    fn first_candidates_do_not_trigger_detour_stage() {
+        let topo = Topology::mesh(4, 4, 1);
+        let mut cache = RouteCache::new(&topo, 12);
+        // Diagonal pair: XY and YX are distinct, so indices 0 and 1 are
+        // served from the cheap stage alone.
+        let (s, d) = (NiId::new(0), NiId::new(15));
+        assert!(cache.candidate(&topo, s, d, 0).is_some());
+        assert!(cache.candidate(&topo, s, d, 1).is_some());
+        let idx = cache.pair_index(s, d);
+        assert_eq!(cache.entries[idx].state, EntryState::Partial);
+        // Walking past them forces the DFS stage.
+        assert!(cache.candidate(&topo, s, d, 2).is_some());
+        assert_eq!(cache.entries[idx].state, EntryState::Complete);
+    }
+
+    #[test]
+    fn second_lookup_is_memoized() {
+        let topo = Topology::mesh(2, 2, 1);
+        let mut cache = RouteCache::new(&topo, 4);
+        assert_eq!(cache.cached_pairs(), 0);
+        let n = cache.candidates(&topo, NiId::new(0), NiId::new(2)).len();
+        assert_eq!(cache.cached_pairs(), 1);
+        assert_eq!(cache.candidates(&topo, NiId::new(0), NiId::new(2)).len(), n);
+        assert_eq!(cache.cached_pairs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild")]
+    fn foreign_topology_rejected() {
+        let small = Topology::mesh(2, 1, 1);
+        let big = Topology::mesh(4, 4, 4);
+        let mut cache = RouteCache::new(&small, 4);
+        let _ = cache.candidates(&big, NiId::new(0), NiId::new(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "topology shape changed")]
+    fn same_ni_count_different_shape_rejected() {
+        // Both meshes have 16 NIs and 16 routers, but different link
+        // counts — the cached routes would be silently wrong without the
+        // shape check.
+        let a = Topology::mesh(4, 4, 1);
+        let b = Topology::mesh(2, 8, 1);
+        let mut cache = RouteCache::new(&a, 4);
+        let _ = cache.candidates(&b, NiId::new(0), NiId::new(5));
+    }
+}

@@ -4,11 +4,17 @@
 //! occupy it during each slot of the table period. The tables of all links
 //! plus the per-connection injection slots *are* the allocation.
 
+use crate::mask::SlotMask;
 use aelite_spec::ids::ConnId;
 use core::fmt;
 
 /// The reservation table of a single link: `size` slots, each free or
 /// owned by one connection.
+///
+/// Alongside the owner vector, the table maintains a [`SlotMask`] bitset
+/// of its free slots ([`free_mask`](Self::free_mask)), kept in sync by
+/// every mutating operation, so the allocator can intersect the free sets
+/// of a whole path with word-level rotate-and-AND kernels.
 ///
 /// # Examples
 ///
@@ -20,11 +26,13 @@ use core::fmt;
 /// t.reserve(3, ConnId::new(0)).unwrap();
 /// assert_eq!(t.owner(3), Some(ConnId::new(0)));
 /// assert!(t.is_free(4));
+/// assert!(!t.free_mask().get(3));
 /// assert_eq!(t.reserved_count(), 1);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlotTable {
     slots: Vec<Option<ConnId>>,
+    free: SlotMask,
 }
 
 impl SlotTable {
@@ -38,6 +46,7 @@ impl SlotTable {
         assert!(size > 0, "slot table must have at least one slot");
         SlotTable {
             slots: vec![None; size as usize],
+            free: SlotMask::new_full(size),
         }
     }
 
@@ -50,7 +59,14 @@ impl SlotTable {
     /// Whether `slot` (taken modulo the table size) is unreserved.
     #[must_use]
     pub fn is_free(&self, slot: u32) -> bool {
-        self.slots[self.wrap(slot)].is_none()
+        self.free.get(self.wrap(slot) as u32)
+    }
+
+    /// The bitset of free slots (bit set ⇔ slot unreserved), maintained in
+    /// lock-step with the owner vector.
+    #[must_use]
+    pub fn free_mask(&self) -> &SlotMask {
+        &self.free
     }
 
     /// The connection owning `slot` (modulo table size), if any.
@@ -72,6 +88,7 @@ impl SlotTable {
             Some(owner) => Err(owner),
             None => {
                 self.slots[i] = Some(conn);
+                self.free.clear(i as u32);
                 Ok(())
             }
         }
@@ -80,15 +97,20 @@ impl SlotTable {
     /// Releases `slot` (modulo table size), returning its previous owner.
     pub fn release(&mut self, slot: u32) -> Option<ConnId> {
         let i = self.wrap(slot);
-        self.slots[i].take()
+        let prev = self.slots[i].take();
+        if prev.is_some() {
+            self.free.set(i as u32);
+        }
+        prev
     }
 
     /// Releases every slot owned by `conn`, returning how many there were.
     pub fn release_all(&mut self, conn: ConnId) -> u32 {
         let mut n = 0;
-        for s in &mut self.slots {
+        for (i, s) in self.slots.iter_mut().enumerate() {
             if *s == Some(conn) {
                 *s = None;
+                self.free.set(i as u32);
                 n += 1;
             }
         }
@@ -98,7 +120,7 @@ impl SlotTable {
     /// Number of reserved slots.
     #[must_use]
     pub fn reserved_count(&self) -> u32 {
-        self.slots.iter().filter(|s| s.is_some()).count() as u32
+        self.size() - self.free.count()
     }
 
     /// Fraction of the table that is reserved, in `[0, 1]`.
@@ -192,24 +214,31 @@ pub fn gaps(slots: &[u32], size: u32) -> Vec<u32> {
 pub fn worst_window(slots: &[u32], size: u32, m: u32) -> u32 {
     assert!(m > 0, "window of zero flits");
     assert!(!slots.is_empty(), "connection has no slots");
-    let g = gaps(slots, size);
-    let n = g.len();
+    for w in slots.windows(2) {
+        assert!(w[0] < w[1], "slots must be strictly ascending");
+    }
+    assert!(*slots.last().unwrap() < size, "slot out of table range");
+    let n = slots.len();
     let m = m as usize;
-    // Sum of m consecutive gaps (circular), maximised over start position.
-    // When m >= n the message needs more table revolutions: every full
-    // revolution adds `size`.
+    // A run of `rem` consecutive gaps starting at slot i telescopes to the
+    // slot-position difference slots[i + rem] - slots[i] (plus one table
+    // revolution when the run wraps), so the worst window is a single
+    // O(n) sliding pass instead of O(n × m) gap summing. When m >= n the
+    // message needs extra full revolutions: each adds `size`.
     let full_revs = (m / n) as u32;
     let rem = m % n;
-    let mut worst = 0;
     if rem == 0 {
         return full_revs * size;
     }
-    for start in 0..n {
-        let mut acc = 0;
-        for k in 0..rem {
-            acc += g[(start + k) % n];
-        }
-        worst = worst.max(acc);
+    let mut worst = 0;
+    for i in 0..n {
+        let j = i + rem;
+        let span = if j < n {
+            slots[j] - slots[i]
+        } else {
+            size - slots[i] + slots[j - n]
+        };
+        worst = worst.max(span);
     }
     full_revs * size + worst
 }

@@ -1,0 +1,75 @@
+//! Experiment P2 — allocator throughput trajectory (not a paper
+//! artefact).
+//!
+//! Times the TDM allocation flow on the paper's Section VII platform and
+//! on synthetic scaled meshes up to 8×8 / 2000 connections, in three
+//! configurations:
+//!
+//! * `seed_*` — the pre-optimization allocator preserved in
+//!   `aelite_baseline::alloc_ref` (per-slot probing, clone-heavy DFS,
+//!   quadratic kernels);
+//! * `opt_*` — the current bitset + lazy-route-cache allocator, cold
+//!   (cache built per allocation, as in a one-shot design flow);
+//! * `warm_*` — the current allocator re-using a [`RouteCache`] across
+//!   allocations (the steady-state re-allocation path the ROADMAP's
+//!   heavy-traffic scenario cares about).
+//!
+//! `examples/bench_alloc.rs` runs the same matrix outside criterion and
+//! records the numbers in `BENCH_ALLOC.json`.
+
+use aelite_alloc::{allocate, Allocator, RouteCache};
+use aelite_baseline::allocate_seed;
+use aelite_spec::app::SystemSpec;
+use aelite_spec::generate::{paper_workload, scaled_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn workloads() -> Vec<(&'static str, SystemSpec)> {
+    vec![
+        ("paper_200", paper_workload(42)),
+        ("mesh4x4_500", scaled_workload(4, 4, 4, 500, 1)),
+        ("mesh8x8_1000", scaled_workload(8, 8, 4, 1000, 1)),
+        ("mesh8x8_2000", scaled_workload(8, 8, 4, 2000, 1)),
+    ]
+}
+
+fn bench_seed(c: &mut Criterion) {
+    for (name, spec) in workloads() {
+        c.bench_function(&format!("seed_{name}"), |b| {
+            b.iter(|| allocate_seed(black_box(&spec)).expect("allocates"));
+        });
+    }
+}
+
+fn bench_opt_cold(c: &mut Criterion) {
+    for (name, spec) in workloads() {
+        c.bench_function(&format!("opt_{name}"), |b| {
+            b.iter(|| allocate(black_box(&spec)).expect("allocates"));
+        });
+    }
+}
+
+fn bench_opt_warm(c: &mut Criterion) {
+    for (name, spec) in workloads() {
+        let allocator = Allocator::new();
+        let mut routes = RouteCache::new(spec.topology(), allocator.max_paths);
+        // Prime the cache once; the timed loop is the steady state.
+        let _ = allocator
+            .allocate_with_cache(&spec, &mut routes)
+            .expect("allocates");
+        c.bench_function(&format!("warm_{name}"), |b| {
+            b.iter(|| {
+                allocator
+                    .allocate_with_cache(black_box(&spec), &mut routes)
+                    .expect("allocates")
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_seed, bench_opt_cold, bench_opt_warm
+}
+criterion_main!(benches);

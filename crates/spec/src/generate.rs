@@ -106,6 +106,45 @@ pub fn paper_workload(seed: u64) -> SystemSpec {
     )
 }
 
+/// Generates a synthetic scaled-up workload on a `cols × rows` mesh with
+/// `nis_per_router` NIs per router and one IP per NI: the
+/// thousand-connection regime the allocator-throughput benchmarks track
+/// (`BENCH_ALLOC.json`), beyond the paper's 200-connection platform.
+///
+/// The draw keeps the paper generator's feasibility rules but with a
+/// lighter per-connection profile (log-uniform 10–100 MB/s, 300–3000 ns
+/// deadlines, half-table link budget) so that meshes from 4×4/500
+/// connections to 8×8/2000 connections stay allocatable.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics as [`random_workload`] (fewer than 2 IPs, zero connections).
+#[must_use]
+pub fn scaled_workload(
+    cols: u32,
+    rows: u32,
+    nis_per_router: u32,
+    connections: u32,
+    seed: u64,
+) -> SystemSpec {
+    let topo = Topology::mesh(cols, rows, nis_per_router);
+    let ips = (topo.ni_count() as u32).max(2);
+    let params = WorkloadParams {
+        apps: 4,
+        connections,
+        ips,
+        bw_min_mb: 10,
+        bw_max_mb: 100,
+        lat_min_ns: 300,
+        lat_max_ns: 3000,
+        message_bytes: 64,
+        ni_load_cap: 0.5,
+    };
+    random_workload(topo, NocConfig::paper_default(), params, seed)
+}
+
 /// Generates a random workload on an arbitrary platform.
 ///
 /// See the [module documentation](self) for the draw's feasibility rules.
@@ -401,6 +440,18 @@ mod tests {
         let spec = random_workload(topo, NocConfig::paper_default(), params, 99);
         assert_eq!(spec.connections().len(), 6);
         assert_eq!(spec.apps().len(), 2);
+    }
+
+    #[test]
+    fn scaled_workload_matches_requested_shape() {
+        let spec = scaled_workload(4, 4, 4, 500, 1);
+        assert_eq!(spec.connections().len(), 500);
+        assert_eq!(spec.topology().router_count(), 16);
+        assert_eq!(spec.topology().ni_count(), 64);
+        assert_eq!(spec.ip_count(), 64);
+        // Deterministic per seed.
+        let again = scaled_workload(4, 4, 4, 500, 1);
+        assert_eq!(spec.connections(), again.connections());
     }
 
     #[test]

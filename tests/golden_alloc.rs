@@ -1,0 +1,53 @@
+//! Golden equivalence: the bitset/route-cache allocator must produce
+//! **bit-for-bit identical grants** to the pre-optimization seed
+//! allocator (preserved verbatim in `aelite_baseline::alloc_ref`) on the
+//! paper workloads — same paths, same injection slots, same link lists.
+//!
+//! This is the contract that makes the hot-path rewrite a pure
+//! performance change: every kernel (rotate-and-AND candidate masks,
+//! nearest-bit spread selection, single-start gap cover, lazy route
+//! materialization) replicates the original's decisions exactly,
+//! including tie-breaking.
+
+use aelite_baseline::allocate_seed;
+use aelite_spec::generate::{paper_workload, scaled_workload};
+
+#[test]
+fn grants_match_seed_allocator_on_paper_workloads() {
+    for seed in 0..10 {
+        let spec = paper_workload(seed);
+        let reference = allocate_seed(&spec).expect("seed allocator handles paper workload");
+        let optimized = aelite_alloc::allocate(&spec).expect("optimized allocator succeeds");
+        for c in spec.connections() {
+            let want = reference.grants[c.id.index()]
+                .as_ref()
+                .expect("reference granted every connection");
+            let got = optimized.grant(c.id).expect("optimized granted too");
+            assert_eq!(got, want, "seed {seed}: grant of {} diverged", c.id);
+        }
+    }
+}
+
+#[test]
+fn grants_match_seed_allocator_on_scaled_mesh() {
+    // One synthetic scaled platform keeps the equivalence honest beyond
+    // the paper's 4×3 mesh (different table pressure and path diversity).
+    let spec = scaled_workload(4, 4, 4, 300, 7);
+    let reference = allocate_seed(&spec).expect("seed allocator handles scaled workload");
+    let optimized = aelite_alloc::allocate(&spec).expect("optimized allocator succeeds");
+    for c in spec.connections() {
+        let want = reference.grants[c.id.index()].as_ref().unwrap();
+        let got = optimized.grant(c.id).unwrap();
+        assert_eq!(got, want, "grant of {} diverged", c.id);
+    }
+}
+
+#[test]
+fn optimized_allocation_still_validates() {
+    for seed in [0, 5, 9] {
+        let spec = paper_workload(seed);
+        let alloc = aelite_alloc::allocate(&spec).unwrap();
+        aelite_alloc::validate_allocation(&spec, &alloc)
+            .expect("optimized allocation passes the independent checker");
+    }
+}

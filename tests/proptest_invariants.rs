@@ -2,7 +2,8 @@
 //! exercised over randomly generated workloads, slot sets, routes and
 //! clock phases.
 
-use aelite_alloc::table::{gaps, worst_window};
+use aelite_alloc::mask::SlotMask;
+use aelite_alloc::table::{gaps, worst_window, SlotTable};
 use aelite_alloc::{allocate, validate_allocation};
 use aelite_core::AeliteSystem;
 use aelite_noc::codec::{pack_header, route_capacity_hops, unpack_header};
@@ -113,6 +114,119 @@ proptest! {
         }
         let expect: Vec<u32> = (0..push_gaps.len() as u32).collect();
         prop_assert_eq!(out, expect);
+    }
+}
+
+/// One mutation of a slot table, drawn by the mask-consistency property.
+#[derive(Debug, Clone, Copy)]
+enum TableOp {
+    Reserve(u32, u32),
+    Release(u32),
+    ReleaseAll(u32),
+}
+
+/// Strategy: an arbitrary sequence of reserve/release/release_all ops.
+fn table_ops() -> impl Strategy<Value = (u32, Vec<TableOp>)> {
+    (1u32..=150).prop_flat_map(|size| {
+        let op = prop_oneof![
+            (0..size * 2, 0u32..6).prop_map(|(s, c)| TableOp::Reserve(s, c)),
+            (0..size * 2).prop_map(TableOp::Release),
+            (0u32..6).prop_map(TableOp::ReleaseAll),
+        ];
+        (Just(size), proptest::collection::vec(op, 1..120))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `SlotTable`'s free-slot bitset stays consistent with its owner
+    /// vector under arbitrary reserve/release/release_all sequences.
+    #[test]
+    fn slot_table_free_mask_stays_consistent((size, ops) in table_ops()) {
+        let mut t = SlotTable::new(size);
+        for op in ops {
+            match op {
+                TableOp::Reserve(slot, conn) => {
+                    let _ = t.reserve(slot, ConnId::new(conn));
+                }
+                TableOp::Release(slot) => {
+                    let _ = t.release(slot);
+                }
+                TableOp::ReleaseAll(conn) => {
+                    let _ = t.release_all(ConnId::new(conn));
+                }
+            }
+            // The mask, the owner vector, and the derived counters must
+            // agree after every single mutation.
+            let mut reserved = 0;
+            for s in 0..size {
+                let owner_free = t.owner(s).is_none();
+                prop_assert_eq!(t.free_mask().get(s), owner_free, "slot {}", s);
+                prop_assert_eq!(t.is_free(s), owner_free, "slot {}", s);
+                if !owner_free {
+                    reserved += 1;
+                }
+            }
+            prop_assert_eq!(t.reserved_count(), reserved);
+            prop_assert_eq!(t.free_mask().count(), size - reserved);
+        }
+    }
+
+    /// The rotate-and-AND kernel matches the per-slot definition: bit `s`
+    /// survives iff `a` has `s` and `b` has `(s + shift) % size`.
+    #[test]
+    fn and_rotated_matches_per_slot_definition(
+        size in 1u32..200,
+        bits_a in proptest::collection::vec((0u32..2).prop_map(|b| b == 1), 200),
+        bits_b in proptest::collection::vec((0u32..2).prop_map(|b| b == 1), 200),
+        shift in 0u32..400,
+    ) {
+        let mut a = SlotMask::new_empty(size);
+        let mut b = SlotMask::new_empty(size);
+        for s in 0..size {
+            if bits_a[s as usize] {
+                a.set(s);
+            }
+            if bits_b[s as usize] {
+                b.set(s);
+            }
+        }
+        let mut out = a.clone();
+        out.and_rotated(&b, shift);
+        for s in 0..size {
+            prop_assert_eq!(
+                out.get(s),
+                a.get(s) && b.get((s + shift) % size),
+                "size {} shift {} slot {}",
+                size, shift, s
+            );
+        }
+    }
+
+    /// Word-level bit scans agree with naive linear scans.
+    #[test]
+    fn mask_scans_match_naive(
+        size in 1u32..150,
+        bits in proptest::collection::vec((0u32..2).prop_map(|b| b == 1), 150),
+        pos in 0u32..150,
+    ) {
+        prop_assume!(pos < size);
+        let slots: Vec<u32> = (0..size).filter(|&s| bits[s as usize]).collect();
+        let m = SlotMask::from_slots(size, &slots);
+        let next = (0..size)
+            .map(|d| (pos + d) % size)
+            .find(|&s| m.get(s));
+        prop_assert_eq!(m.next_one_circular(pos), next);
+        let prev = (0..size)
+            .map(|d| (pos + size - d) % size)
+            .find(|&s| m.get(s));
+        prop_assert_eq!(m.prev_one_circular(pos), prev);
+        let nearest = slots.iter().copied().min_by_key(|&s| {
+            let d = s.abs_diff(pos);
+            d.min(size - d)
+        });
+        prop_assert_eq!(m.nearest_one(pos), nearest);
     }
 }
 

@@ -18,11 +18,19 @@ pub use std::hint::black_box;
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        // Real criterion supports `cargo bench -- --test`, which runs each
+        // benchmark exactly once as a smoke test; mirror that so CI can
+        // exercise bench targets cheaply.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
     }
 }
 
@@ -40,12 +48,14 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
-            sample_size: self.sample_size,
+            sample_size: if self.test_mode { 1 } else { self.sample_size },
             total_ns: 0,
             iterations: 0,
         };
         f(&mut b);
-        if b.iterations > 0 {
+        if self.test_mode {
+            println!("bench {id:<48} ok (test mode)");
+        } else if b.iterations > 0 {
             let mean = b.total_ns as f64 / b.iterations as f64;
             println!(
                 "bench {id:<48} {:>12.0} ns/iter ({} iters)",
