@@ -58,6 +58,15 @@ impl Allocation {
         }
     }
 
+    /// An allocation for `spec` with no grants: the starting point for
+    /// incremental flows that admit connections one at a time through
+    /// [`Allocator::extend_with_cache`] (e.g. a design-space sweep
+    /// measuring how many connections of an oversubscribed workload fit).
+    #[must_use]
+    pub fn empty_for(spec: &SystemSpec) -> Self {
+        Allocation::empty(spec)
+    }
+
     /// The NoC-wide slot-table size.
     #[must_use]
     pub fn table_size(&self) -> u32 {
@@ -212,6 +221,21 @@ pub fn estimate_slots(spec: &SystemSpec, conn: ConnId) -> u32 {
     let gap = (wait / u64::from(cfg.slot_cycles())).max(1) as u32;
     let lat_slots = cfg.slot_table_size.div_ceil(gap);
     cfg.slots_for(c.bandwidth).max(lat_slots).max(1)
+}
+
+/// Sorts `conns` into the allocator's canonical hardest-first admission
+/// order: most estimated slots first, then tightest deadline, then id.
+/// Shared by the batch pass, the reconfiguration flow and the DSE
+/// engine's incremental admission, so "hardest first" means the same
+/// thing everywhere.
+pub fn admission_order(spec: &SystemSpec, conns: &mut [ConnId]) {
+    conns.sort_by_cached_key(|&id| {
+        (
+            core::cmp::Reverse(estimate_slots(spec, id)),
+            spec.connection(id).max_latency_ns,
+            id,
+        )
+    });
 }
 
 /// The contention-free pipeline delay, in cycles, of a path with
@@ -414,11 +438,7 @@ impl Allocator {
             .map(|c| c.id)
             .filter(|id| !is_promoted[id.index()])
             .collect();
-        order.sort_by_cached_key(|&id| {
-            let c = spec.connection(id);
-            let est = estimate_slots(spec, id);
-            (core::cmp::Reverse(est), c.max_latency_ns, id)
-        });
+        admission_order(spec, &mut order);
 
         for &conn in promoted.iter().chain(order.iter()) {
             self.allocate_one(spec, &mut alloc, conn, salt, routes)?;

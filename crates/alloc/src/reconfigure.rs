@@ -95,13 +95,7 @@ impl Allocator {
         alloc.grow_for(spec);
 
         let mut order: Vec<ConnId> = new_conns.to_vec();
-        order.sort_by_cached_key(|&id| {
-            (
-                core::cmp::Reverse(crate::allocate::estimate_slots(spec, id)),
-                spec.connection(id).max_latency_ns,
-                id,
-            )
-        });
+        crate::allocate::admission_order(spec, &mut order);
         for conn in order {
             let mut last_err = None;
             let salts: &[u32] = if self.phase_salts.is_empty() {

@@ -11,7 +11,7 @@
 //! `src × ni_count + dst` index.
 //!
 //! On top of memoization the cache materializes candidates *lazily*, in
-//! the two stages [`route_candidates`] already has: the dimension-ordered
+//! the two stages [`route_candidates`](crate::path::route_candidates) already has: the dimension-ordered
 //! XY/YX routes are computed on first touch, and the DFS detour
 //! enumeration runs only if a caller actually walks past them. The
 //! allocator commits to the first feasible candidate, which under light
@@ -51,7 +51,7 @@ struct Entry {
     state: EntryState,
 }
 
-/// Memoizes [`route_candidates`] plus link lists per (src, dst) NI pair.
+/// Memoizes [`route_candidates`](crate::path::route_candidates) plus link lists per (src, dst) NI pair.
 ///
 /// Reusable across every pass, salt, and reconfiguration step that shares
 /// a topology and `max_paths` bound. Entries are filled lazily on first

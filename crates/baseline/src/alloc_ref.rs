@@ -23,7 +23,7 @@
 //! types under comparison ([`Path`], [`Grant`]) are shared.
 //!
 //! Nothing here should be used in production flows; use
-//! [`aelite_alloc::allocate`] instead.
+//! [`aelite_alloc::allocate()`] instead.
 
 use aelite_alloc::allocate::Grant;
 use aelite_alloc::path::Path;

@@ -28,8 +28,38 @@ use crate::config::NocConfig;
 use crate::ids::{IpId, NiId};
 use crate::topology::Topology;
 use crate::traffic::Bandwidth;
+use core::fmt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Why a random workload could not be drawn.
+///
+/// Returned by [`try_random_workload`]; design-space sweeps treat this as
+/// a data point (the platform cannot carry the requested traffic profile)
+/// rather than a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// No feasible draw was found for the `connection`-th connection
+    /// within the attempt budget: every candidate either exceeded a
+    /// per-link slot budget or monopolised the slot table.
+    InfeasibleDraw {
+        /// Zero-based index of the connection that could not be drawn.
+        connection: u32,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InfeasibleDraw { connection } => write!(
+                f,
+                "could not draw a feasible connection #{connection}; lower the load"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// Parameters of a random workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -161,6 +191,28 @@ pub fn random_workload(
     params: WorkloadParams,
     seed: u64,
 ) -> SystemSpec {
+    try_random_workload(topo, config, params, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`random_workload`] that reports an infeasible draw as an error
+/// instead of panicking — the entry point for design-space sweeps, where
+/// an overloaded grid corner is a result, not a bug.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InfeasibleDraw`] when some connection cannot
+/// be drawn within the per-connection attempt budget.
+///
+/// # Panics
+///
+/// Panics on parameter errors that no retry can fix: fewer than 2 IPs,
+/// zero connections/apps, or invalid bandwidth/latency ranges.
+pub fn try_random_workload(
+    topo: Topology,
+    config: NocConfig,
+    params: WorkloadParams,
+    seed: u64,
+) -> Result<SystemSpec, WorkloadError> {
     assert!(params.ips >= 2, "need at least two IPs");
     assert!(params.apps >= 1, "need at least one application");
     assert!(params.connections >= 1, "need at least one connection");
@@ -256,8 +308,9 @@ pub fn random_workload(
             accepted = Some((src, dst, bw, lat));
             break;
         }
-        let (src, dst, bw, lat) = accepted
-            .unwrap_or_else(|| panic!("could not draw a feasible connection #{c}; lower the load"));
+        let Some((src, dst, bw, lat)) = accepted else {
+            return Err(WorkloadError::InfeasibleDraw { connection: c });
+        };
 
         let app = apps[(c % params.apps) as usize];
         b.add_connection_with(
@@ -270,7 +323,7 @@ pub fn random_workload(
             params.message_bytes,
         );
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// Router-to-router hop count between the routers of two NIs (Manhattan on
@@ -452,6 +505,28 @@ mod tests {
         // Deterministic per seed.
         let again = scaled_workload(4, 4, 4, 500, 1);
         assert_eq!(spec.connections(), again.connections());
+    }
+
+    #[test]
+    fn infeasible_draw_is_an_error_not_a_panic() {
+        // Two IPs on a 2-router mesh, but a bandwidth floor far above the
+        // per-link slot budget: no connection can ever be drawn.
+        let topo = Topology::mesh(2, 1, 1);
+        let params = WorkloadParams {
+            apps: 1,
+            connections: 1,
+            ips: 2,
+            bw_min_mb: 1_900,
+            bw_max_mb: 2_000,
+            lat_min_ns: 10_000,
+            lat_max_ns: 10_000,
+            message_bytes: 64,
+            ni_load_cap: 0.5,
+        };
+        let err = try_random_workload(topo, NocConfig::paper_default(), params, 1)
+            .expect_err("draw must be infeasible");
+        assert_eq!(err, WorkloadError::InfeasibleDraw { connection: 0 });
+        assert!(err.to_string().contains("connection #0"), "{err}");
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod traffic;
 
 pub use app::{Application, Connection, SystemSpec, SystemSpecBuilder};
 pub use config::NocConfig;
-pub use generate::{paper_workload, random_workload, WorkloadParams};
+pub use generate::{
+    paper_workload, random_workload, try_random_workload, WorkloadError, WorkloadParams,
+};
 pub use ids::{AppId, ConnId, IpId, LinkId, NiId, Port, RouterId};
 pub use topology::{Endpoint, Link, PortTarget, Topology, TopologyBuilder};
 pub use traffic::{Bandwidth, TrafficPattern};

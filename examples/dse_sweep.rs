@@ -1,0 +1,103 @@
+//! Parallel design-space sweep: explore mesh dimensions × slot-table
+//! sizes × link pipeline depths × traffic mixes, and report success
+//! rates, worst-case bounds and the area-vs-guaranteed-throughput
+//! Pareto front in `DSE_REPORT.json`.
+//!
+//! ```text
+//! cargo run --release --example dse_sweep                 # full 126-point grid
+//! cargo run --release --example dse_sweep -- --reduced    # CI's 12-point grid
+//! cargo run --release --example dse_sweep -- --threads 4  # fixed worker count
+//! cargo run --release --example dse_sweep -- --out my.json
+//! cargo run --release --example dse_sweep -- --check      # gate an existing report
+//! ```
+//!
+//! The report is deterministic: the same grid produces byte-identical
+//! JSON for any `--threads` value (workload seeds derive from point
+//! coordinates, never from the schedule). `--check` verifies an already
+//! written report — CI uses it to gate the committed `DSE_REPORT.json`
+//! before regenerating its own reduced sweep.
+
+use aelite_dse::engine::run_sweep;
+use aelite_dse::grid::DseGrid;
+use aelite_dse::report::check_report_text;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut grid = DseGrid::full();
+    let mut threads = 0usize; // 0 = one worker per CPU
+    let mut out = String::from("DSE_REPORT.json");
+    let mut check: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reduced" => grid = DseGrid::reduced(),
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            "--check" => {
+                // Optional path operand; defaults to the committed report.
+                check = Some(match args.get(i + 1) {
+                    Some(p) if !p.starts_with("--") => {
+                        i += 1;
+                        p.clone()
+                    }
+                    _ => "DSE_REPORT.json".to_string(),
+                });
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match check_report_text(&text) {
+            Ok(()) => println!("{path}: schema and gates OK"),
+            Err(e) => panic!("{path}: gate failed: {e}"),
+        }
+        return;
+    }
+
+    println!(
+        "design-space sweep: {} points ({} grid), {} worker(s)",
+        grid.len(),
+        grid.label,
+        if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        }
+    );
+    let t0 = Instant::now();
+    let report = run_sweep(&grid, threads);
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!("swept in {elapsed:.2} s\n");
+
+    print!("{}", report.summary_table());
+    println!();
+    print!("{}", report.pareto_table());
+
+    // The gates CI relies on: consistency, a non-empty front, and the
+    // paper platform (present in both the full and reduced grids)
+    // allocating every one of its connections.
+    report.assert_gates();
+    assert!(
+        report.paper_point().is_some(),
+        "grid must include the paper platform point"
+    );
+
+    let json = report.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out} ({} points)", report.points.len());
+}

@@ -18,6 +18,7 @@ pub use aelite_analysis as analysis;
 pub use aelite_baseline as baseline;
 pub use aelite_core as core;
 pub use aelite_dataflow as dataflow;
+pub use aelite_dse as dse;
 pub use aelite_noc as noc;
 pub use aelite_sim as sim;
 pub use aelite_spec as spec;

@@ -329,7 +329,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy for `Vec`s of sampled length; see [`vec`].
+    /// Strategy for `Vec`s of sampled length; see [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,
