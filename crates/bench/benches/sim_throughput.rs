@@ -1,0 +1,90 @@
+//! Experiment P3 — simulator throughput trajectory (not a paper
+//! artefact).
+//!
+//! Times the cycle-accurate simulation of the paper's Section VII
+//! platform and a scaled 4×4 mesh, event engine against turbo kernel,
+//! in both clocking organisations:
+//!
+//! * `event_*` — `build_network` + the event-driven
+//!   `aelite_sim::scheduler::Simulator` (binary-heap edge discovery,
+//!   `dyn Module` dispatch), the golden reference;
+//! * `turbo_*` — `build_turbo`'s compiled flit-synchronous kernel
+//!   (static network timing, flat per-connection state, slot-grained
+//!   stepping).
+//!
+//! `examples/bench_sim.rs` runs the same matrix outside criterion,
+//! asserts delivery-log equivalence, and records the numbers in
+//! `BENCH_SIM.json`.
+
+use aelite_alloc::allocate;
+use aelite_noc::network::{build_network, NetworkKind};
+use aelite_noc::turbo::build_turbo;
+use aelite_spec::app::SystemSpec;
+use aelite_spec::generate::{paper_workload, scaled_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// (name, spec, kind, simulated cycles) — one row per engine matrix
+/// cell; durations keep the event engine's criterion samples short.
+fn workloads() -> Vec<(&'static str, SystemSpec, NetworkKind, u64)> {
+    let meso = NetworkKind::Mesochronous { phase_seed: 7 };
+    vec![
+        (
+            "paper_sync",
+            paper_workload(42),
+            NetworkKind::Synchronous,
+            10_000,
+        ),
+        (
+            "paper_meso",
+            paper_workload(42).with_link_pipeline_stages(1, 1),
+            meso,
+            4_000,
+        ),
+        (
+            "mesh4x4_sync",
+            scaled_workload(4, 4, 4, 500, 1),
+            NetworkKind::Synchronous,
+            4_000,
+        ),
+        (
+            "mesh4x4_meso",
+            scaled_workload(4, 4, 4, 500, 1).with_link_pipeline_stages(1, 2),
+            meso,
+            2_000,
+        ),
+    ]
+}
+
+fn bench_event(c: &mut Criterion) {
+    for (name, spec, kind, cycles) in workloads() {
+        let alloc = allocate(&spec).expect("allocates");
+        c.bench_function(&format!("event_{name}"), |b| {
+            b.iter(|| {
+                let mut net = build_network(black_box(&spec), &alloc, kind, true);
+                net.run_cycles(cycles);
+                net
+            });
+        });
+    }
+}
+
+fn bench_turbo(c: &mut Criterion) {
+    for (name, spec, kind, cycles) in workloads() {
+        let alloc = allocate(&spec).expect("allocates");
+        c.bench_function(&format!("turbo_{name}"), |b| {
+            b.iter(|| {
+                let mut net = build_turbo(black_box(&spec), &alloc, kind, true);
+                net.run_cycles(cycles);
+                net
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_event, bench_turbo
+}
+criterion_main!(benches);

@@ -182,7 +182,7 @@ pub fn evaluate_point(point: &DesignPoint, routes: &mut RouteCache) -> PointResu
 /// serve connections hardest-first (the batch flow's own order), one
 /// [`Allocator::extend_with_cache`] call each, keeping every success.
 /// Returns the partial allocation and the number of grants.
-fn admit_incrementally(
+pub(crate) fn admit_incrementally(
     allocator: &Allocator,
     spec: &SystemSpec,
     routes: &mut RouteCache,

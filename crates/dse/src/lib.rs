@@ -18,6 +18,9 @@
 //!   throughput front.
 //! * [`report`] — the collector: aggregates, the Pareto front, the
 //!   stable `DSE_REPORT.json` serialization and summary tables.
+//! * [`validate`] — the simulation-backed check: every Pareto-front
+//!   point is replayed through `aelite_noc`'s turbo kernel and the
+//!   measured worst-case latency asserted against the analytical bound.
 //!
 //! Determinism is the design constraint throughout: every per-point
 //! quantity is a pure function of the point's coordinates, so the same
@@ -55,8 +58,10 @@ pub mod engine;
 pub mod grid;
 pub mod pareto;
 pub mod report;
+pub mod validate;
 
 pub use engine::{evaluate_point, run_sweep, PointOutcome, PointResult};
 pub use grid::{DesignPoint, DseGrid, MeshDim, TrafficMix, PAPER_POINT_ID};
 pub use pareto::{dominates, pareto_front, Candidate};
 pub use report::{check_report_text, DseReport, REPORT_SCHEMA};
+pub use validate::{validate_front, validate_point, ValidatedPoint, VALIDATE_DURATION_CYCLES};

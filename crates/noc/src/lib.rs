@@ -18,6 +18,10 @@
 //! * [`flitsim`] — the fast flit-level TDM simulator used for the paper's
 //!   200-connection experiment, validated against the cycle-accurate
 //!   models.
+//! * [`turbo`] — the compiled flit-synchronous execution engine: the same
+//!   cycle-accurate network lowered to flat state and enum dispatch,
+//!   bit-for-bit equivalent to the event-driven build and an order of
+//!   magnitude faster.
 //! * [`testbench`] — scripted drivers and probes for building validation
 //!   scenarios.
 
@@ -32,7 +36,9 @@ pub mod ni;
 pub mod phit;
 pub mod router;
 pub mod testbench;
+pub mod turbo;
 pub mod wrapper;
 
 pub use phit::{Header, LinkWord, Payload, RouteBits};
 pub use router::Router;
+pub use turbo::{build_turbo, ConnLatency, TurboNet};

@@ -110,6 +110,33 @@ impl CycleNet {
 /// [`FlitSimConfig::credit_return_cycles`]: crate::flitsim::FlitSimConfig
 pub const CREDIT_RETURN_CYCLES: u64 = 24;
 
+/// The CBR traffic-generator parameters derived from a connection's
+/// contract: `(words per message, interval in cycles)`. Shared by
+/// [`build_network`] and the turbo kernel's compiled generators so the
+/// two engines can never diverge on arrival schedules.
+pub(crate) fn cbr_traffic_params(
+    c: &aelite_spec::app::Connection,
+    cfg: &aelite_spec::config::NocConfig,
+) -> (u32, u64) {
+    let words = c.message_bytes.div_ceil(cfg.data_width_bytes()).max(1);
+    let interval = (u64::from(c.message_bytes) * cfg.frequency_mhz * 1_000_000)
+        .div_ceil(c.bandwidth.bytes_per_sec().max(1))
+        .max(1);
+    (words, interval)
+}
+
+/// The per-element phase draws of a mesochronous build, in femtoseconds
+/// below half a period: one draw per router, then one per NI, from a
+/// `phase_seed`-seeded stream. Shared by [`build_network`] and the
+/// turbo kernel so both engines see identical clock phases.
+pub(crate) fn meso_phase_draws_fs(phase_seed: u64, elements: usize, period_fs: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(phase_seed);
+    let half = period_fs / 2;
+    (0..elements)
+        .map(|_| rng.gen_range(0..half.max(1)))
+        .collect()
+}
+
 /// Builds the cycle-accurate network for `spec` under `alloc`.
 ///
 /// With `with_traffic`, every connection gets a constant-rate source
@@ -151,10 +178,14 @@ pub fn build_network(
             (vec![clk; topo.router_count()], vec![clk; topo.ni_count()])
         }
         NetworkKind::Mesochronous { phase_seed } => {
-            let mut rng = StdRng::seed_from_u64(phase_seed);
-            let half = f.period().as_fs() / 2;
+            let draws = meso_phase_draws_fs(
+                phase_seed,
+                topo.router_count() + topo.ni_count(),
+                f.period().as_fs(),
+            );
+            let mut draws = draws.into_iter();
             let mut draw = |sim: &mut Simulator<LinkWord>| {
-                let phase = SimDuration::from_fs(rng.gen_range(0..half.max(1)));
+                let phase = SimDuration::from_fs(draws.next().expect("sized draw list"));
                 sim.add_domain(ClockSpec::new(f).with_phase(phase))
             };
             let routers = (0..topo.router_count()).map(|_| draw(&mut sim)).collect();
@@ -255,10 +286,7 @@ pub fn build_network(
             let queue = message_queue();
             queues.push((c.id, std::rc::Rc::clone(&queue)));
             if with_traffic {
-                let words = c.message_bytes.div_ceil(cfg.data_width_bytes()).max(1);
-                let interval = (u64::from(c.message_bytes) * cfg.frequency_mhz * 1_000_000)
-                    .div_ceil(c.bandwidth.bytes_per_sec().max(1))
-                    .max(1);
+                let (words, interval) = cbr_traffic_params(c, cfg);
                 sim.add_module(
                     domain,
                     CbrSource::new(

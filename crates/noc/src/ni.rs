@@ -78,6 +78,15 @@ pub fn credit_channel(name: impl Into<String>, return_delay: SimDuration) -> Cre
     SharedBisync::new(BisyncFifo::new(name, 4096, return_delay))
 }
 
+/// Tag of a flit's first payload word: message sequence number in the
+/// high bits, word offset within the message in the low 8. Shared by
+/// the event-driven [`NiSource`] and the turbo kernel so the two
+/// engines can never disagree on the tag layout.
+#[must_use]
+pub(crate) fn flit_base_tag(seq: u32, total_words: u32, remaining_words: u32) -> u64 {
+    (u64::from(seq) << 8) | u64::from(total_words - remaining_words)
+}
+
 /// Per-connection source state inside an [`NiSource`].
 #[derive(Debug)]
 pub struct SourceConn {
@@ -250,7 +259,7 @@ impl Module for NiSource {
         // Emit the flit: header now, payload words on the next cycles.
         let route = RouteBits::from_ports(&self.conns[ci].route);
         ctx.write(self.output, LinkWord::head(route, self.conns[ci].conn));
-        let base_tag = (u64::from(msg.seq) << 8) | u64::from(msg.words - remaining);
+        let base_tag = flit_base_tag(msg.seq, msg.words, remaining);
         for k in 0..send_words {
             let eop = k + 1 == send_words;
             self.pending

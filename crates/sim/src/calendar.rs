@@ -1,0 +1,368 @@
+//! Precomputed edge calendars for periodic clock-domain sets.
+//!
+//! The event-driven [`Simulator`](crate::scheduler::Simulator) discovers
+//! every rising edge through a binary heap — fully general, but wasteful
+//! when every clock is strictly periodic, as all aelite clock domains
+//! are. An [`EdgeCalendar`] exploits that periodicity: the union of all
+//! domains' edges repeats with the **hyperperiod** (the least common
+//! multiple of the periods), so one precomputed revolution — a sorted
+//! list of [`CoincidenceGroup`]s, each holding every domain with an edge
+//! at the same instant — replaces per-edge heap traffic forever after.
+//!
+//! Mesochronous networks are the sweet spot: every domain shares one
+//! period, so the hyperperiod *is* that period and the calendar has one
+//! entry per distinct phase. Plesiochronous (ppm-offset) domain sets
+//! have astronomically long hyperperiods; [`EdgeCalendar::build`]
+//! detects that and returns `None`, and callers fall back to the heap.
+//!
+//! The calendar is consumed two ways:
+//!
+//! * [`Simulator::run_until_with_calendar`] walks the calendar instead
+//!   of the heap — same instants, same coincidence groups, same module
+//!   order, bit-for-bit identical results (pinned by
+//!   `tests/proptest_calendar.rs`);
+//! * the turbo network kernel in `aelite-noc` compiles the calendar
+//!   directly into its per-cycle schedule.
+//!
+//! [`Simulator::run_until_with_calendar`]: crate::scheduler::Simulator::run_until_with_calendar
+//!
+//! # Examples
+//!
+//! ```
+//! use aelite_sim::calendar::EdgeCalendar;
+//! use aelite_sim::clock::ClockSpec;
+//! use aelite_sim::time::{Frequency, SimDuration};
+//!
+//! let f = Frequency::from_mhz(500); // 2000 ps period
+//! let specs = [
+//!     ClockSpec::new(f),
+//!     ClockSpec::new(f).with_phase(SimDuration::from_ps(700)),
+//!     ClockSpec::new(f).with_phase(SimDuration::from_ps(700)),
+//! ];
+//! let cal = EdgeCalendar::build(&specs).expect("periodic and coprime-small");
+//! assert_eq!(cal.hyperperiod(), f.period());
+//! // Two instants per revolution: phase 0, and phase 700 ps where the
+//! // second and third domains coincide.
+//! assert_eq!(cal.groups().len(), 2);
+//! assert_eq!(cal.groups()[1].domains(), &[1, 2]);
+//! ```
+
+use crate::clock::ClockSpec;
+use crate::time::{SimDuration, SimTime};
+use core::fmt;
+
+/// Hard cap on edges per hyperperiod revolution; beyond this a calendar
+/// costs more to build and store than the heap it replaces.
+pub const MAX_CALENDAR_EDGES: u64 = 65_536;
+
+/// One instant of the calendar: every domain with a rising edge exactly
+/// `offset` after the start of a hyperperiod revolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoincidenceGroup {
+    offset: SimDuration,
+    /// Domains due at this instant, ascending — the same tie-break order
+    /// the scheduler's heap produces for coincident edges.
+    domains: Vec<usize>,
+    /// Each domain's edge index within one hyperperiod revolution,
+    /// parallel to `domains`.
+    rev_cycles: Vec<u64>,
+}
+
+impl CoincidenceGroup {
+    /// Offset of this instant within a hyperperiod revolution.
+    #[must_use]
+    pub fn offset(&self) -> SimDuration {
+        self.offset
+    }
+
+    /// Indices of the domains due at this instant, ascending.
+    #[must_use]
+    pub fn domains(&self) -> &[usize] {
+        &self.domains
+    }
+
+    /// The edge index each domain reaches at this instant within one
+    /// revolution (parallel to [`domains`](Self::domains)).
+    #[must_use]
+    pub fn rev_cycles(&self) -> &[u64] {
+        &self.rev_cycles
+    }
+}
+
+/// A precomputed, repeating schedule of every rising edge of a periodic
+/// clock-domain set. See the [module documentation](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeCalendar {
+    specs: Vec<ClockSpec>,
+    hyperperiod: SimDuration,
+    /// Edges each domain contributes per revolution (`H / period`).
+    edges_per_rev: Vec<u64>,
+    groups: Vec<CoincidenceGroup>,
+}
+
+impl EdgeCalendar {
+    /// Builds the calendar for `specs`, or `None` when no finite
+    /// calendar is worthwhile: an empty domain set, or a hyperperiod
+    /// holding more than [`MAX_CALENDAR_EDGES`] edges (the
+    /// plesiochronous case, where ppm offsets make the periods nearly —
+    /// but not exactly — equal).
+    #[must_use]
+    pub fn build(specs: &[ClockSpec]) -> Option<EdgeCalendar> {
+        if specs.is_empty() {
+            return None;
+        }
+        let mut hyper: u128 = 1;
+        for s in specs {
+            let p = u128::from(s.period().as_fs());
+            assert!(p > 0, "clock period must be non-zero");
+            hyper = lcm_u128(hyper, p);
+            if hyper > u128::from(u64::MAX) {
+                return None;
+            }
+        }
+        let hyper_fs = u64::try_from(hyper).expect("bounded above");
+        let mut total_edges: u64 = 0;
+        for s in specs {
+            total_edges = total_edges.saturating_add(hyper_fs / s.period().as_fs());
+            if total_edges > MAX_CALENDAR_EDGES {
+                return None;
+            }
+        }
+
+        // Enumerate every edge of one revolution as (offset, domain,
+        // in-revolution cycle), then sort and merge coincident instants.
+        let mut edges: Vec<(u64, usize, u64)> = Vec::with_capacity(total_edges as usize);
+        for (d, s) in specs.iter().enumerate() {
+            let p = s.period().as_fs();
+            let phase = s.phase().as_fs();
+            debug_assert!(phase < p, "ClockSpec::with_phase guarantees phase < period");
+            for j in 0..hyper_fs / p {
+                edges.push((phase + j * p, d, j));
+            }
+        }
+        edges.sort_unstable();
+
+        let mut groups: Vec<CoincidenceGroup> = Vec::new();
+        for (offset_fs, d, j) in edges {
+            match groups.last_mut() {
+                Some(g) if g.offset.as_fs() == offset_fs => {
+                    g.domains.push(d);
+                    g.rev_cycles.push(j);
+                }
+                _ => groups.push(CoincidenceGroup {
+                    offset: SimDuration::from_fs(offset_fs),
+                    domains: vec![d],
+                    rev_cycles: vec![j],
+                }),
+            }
+        }
+
+        Some(EdgeCalendar {
+            specs: specs.to_vec(),
+            hyperperiod: SimDuration::from_fs(hyper_fs),
+            edges_per_rev: specs
+                .iter()
+                .map(|s| hyper_fs / s.period().as_fs())
+                .collect(),
+            groups,
+        })
+    }
+
+    /// The clock specifications the calendar was built for, in domain
+    /// order.
+    #[must_use]
+    pub fn specs(&self) -> &[ClockSpec] {
+        &self.specs
+    }
+
+    /// The hyperperiod: the interval after which the edge pattern
+    /// repeats exactly.
+    #[must_use]
+    pub fn hyperperiod(&self) -> SimDuration {
+        self.hyperperiod
+    }
+
+    /// The coincidence groups of one revolution, in instant order.
+    #[must_use]
+    pub fn groups(&self) -> &[CoincidenceGroup] {
+        &self.groups
+    }
+
+    /// Edges domain `d` contributes per revolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn edges_per_rev(&self, d: usize) -> u64 {
+        self.edges_per_rev[d]
+    }
+
+    /// The absolute instant of group `g` in revolution `rev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    #[must_use]
+    pub fn instant(&self, rev: u64, g: usize) -> SimTime {
+        SimTime::ZERO + self.groups[g].offset + self.hyperperiod * rev
+    }
+
+    /// The domain-local edge index (cycle count) domain entry `i` of
+    /// group `g` reaches in revolution `rev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` or `i` is out of range.
+    #[must_use]
+    pub fn domain_cycle(&self, rev: u64, g: usize, i: usize) -> u64 {
+        let group = &self.groups[g];
+        rev * self.edges_per_rev[group.domains[i]] + group.rev_cycles[i]
+    }
+
+    /// Locates the calendar position of the instant `t`, i.e. the
+    /// `(revolution, group index)` such that
+    /// [`instant`](Self::instant)`(rev, g) == t`, or `None` when no
+    /// group fires at `t`.
+    #[must_use]
+    pub fn position_of(&self, t: SimTime) -> Option<(u64, usize)> {
+        let t_fs = t.as_fs();
+        let h = self.hyperperiod.as_fs();
+        let within = t_fs % h;
+        let g = self
+            .groups
+            .iter()
+            .position(|grp| grp.offset.as_fs() == within)?;
+        Some((t_fs / h, g))
+    }
+}
+
+impl fmt::Display for EdgeCalendar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calendar: {} domains, {} instants per {} hyperperiod",
+            self.specs.len(),
+            self.groups.len(),
+            self.hyperperiod
+        )
+    }
+}
+
+const fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+const fn lcm_u128(a: u128, b: u128) -> u128 {
+    a / gcd_u128(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Frequency;
+
+    fn mhz(m: u64) -> Frequency {
+        Frequency::from_mhz(m)
+    }
+
+    #[test]
+    fn single_domain_calendar_is_one_group() {
+        let cal = EdgeCalendar::build(&[ClockSpec::new(mhz(500))]).unwrap();
+        assert_eq!(cal.hyperperiod(), mhz(500).period());
+        assert_eq!(cal.groups().len(), 1);
+        assert_eq!(cal.groups()[0].offset(), SimDuration::ZERO);
+        assert_eq!(cal.groups()[0].domains(), &[0]);
+        assert_eq!(cal.edges_per_rev(0), 1);
+    }
+
+    #[test]
+    fn mesochronous_domains_sort_by_phase() {
+        let f = mhz(500);
+        let specs = [
+            ClockSpec::new(f).with_phase(SimDuration::from_ps(900)),
+            ClockSpec::new(f),
+            ClockSpec::new(f).with_phase(SimDuration::from_ps(250)),
+        ];
+        let cal = EdgeCalendar::build(&specs).unwrap();
+        assert_eq!(cal.groups().len(), 3);
+        let offsets: Vec<u64> = cal.groups().iter().map(|g| g.offset().as_fs()).collect();
+        assert_eq!(offsets, vec![0, 250_000, 900_000]);
+        assert_eq!(cal.groups()[0].domains(), &[1]);
+        assert_eq!(cal.groups()[1].domains(), &[2]);
+        assert_eq!(cal.groups()[2].domains(), &[0]);
+    }
+
+    #[test]
+    fn coincident_phases_merge_in_domain_order() {
+        let f = mhz(500);
+        let p = SimDuration::from_ps(700);
+        let specs = [
+            ClockSpec::new(f).with_phase(p),
+            ClockSpec::new(f),
+            ClockSpec::new(f).with_phase(p),
+        ];
+        let cal = EdgeCalendar::build(&specs).unwrap();
+        assert_eq!(cal.groups().len(), 2);
+        assert_eq!(cal.groups()[1].domains(), &[0, 2]);
+    }
+
+    #[test]
+    fn rational_period_ratio_builds_the_lcm() {
+        // 500 MHz (2000 ps) and 250 MHz (4000 ps): hyperperiod 4000 ps,
+        // with the fast domain contributing two edges per revolution.
+        let specs = [ClockSpec::new(mhz(500)), ClockSpec::new(mhz(250))];
+        let cal = EdgeCalendar::build(&specs).unwrap();
+        assert_eq!(cal.hyperperiod(), SimDuration::from_ps(4_000));
+        assert_eq!(cal.edges_per_rev(0), 2);
+        assert_eq!(cal.edges_per_rev(1), 1);
+        // Instants: 0 (both), 2000 ps (fast only).
+        assert_eq!(cal.groups().len(), 2);
+        assert_eq!(cal.groups()[0].domains(), &[0, 1]);
+        assert_eq!(cal.groups()[1].domains(), &[0]);
+        assert_eq!(cal.domain_cycle(3, 1, 0), 3 * 2 + 1);
+    }
+
+    #[test]
+    fn plesiochronous_ppm_offsets_refuse_a_calendar() {
+        // ±10000 ppm periods share almost no common multiple below the
+        // edge cap; the calendar must decline rather than explode.
+        let specs = [
+            ClockSpec::new(mhz(500)).with_ppm(-10_000),
+            ClockSpec::new(mhz(500)).with_ppm(9_973),
+        ];
+        assert!(EdgeCalendar::build(&specs).is_none());
+    }
+
+    #[test]
+    fn empty_domain_set_has_no_calendar() {
+        assert!(EdgeCalendar::build(&[]).is_none());
+    }
+
+    #[test]
+    fn position_of_locates_revolutions() {
+        let f = mhz(500);
+        let specs = [
+            ClockSpec::new(f),
+            ClockSpec::new(f).with_phase(SimDuration::from_ps(700)),
+        ];
+        let cal = EdgeCalendar::build(&specs).unwrap();
+        assert_eq!(cal.position_of(SimTime::ZERO), Some((0, 0)));
+        assert_eq!(cal.position_of(SimTime::from_ps(700)), Some((0, 1)));
+        assert_eq!(cal.position_of(SimTime::from_ps(2_700)), Some((1, 1)));
+        assert_eq!(cal.position_of(SimTime::from_ps(1_000)), None);
+        assert_eq!(cal.instant(1, 1), SimTime::from_ps(2_700));
+    }
+
+    #[test]
+    fn display_summarises() {
+        let cal = EdgeCalendar::build(&[ClockSpec::new(mhz(500))]).unwrap();
+        let s = cal.to_string();
+        assert!(s.contains("1 domains"), "{s}");
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`module`] — the [`module::Module`] trait implemented by every
 //!   clocked hardware model.
 //! * [`scheduler`] — the [`scheduler::Simulator`] event loop.
+//! * [`calendar`] — precomputed hyperperiod edge calendars replacing the
+//!   per-edge heap for strictly periodic domain sets.
 //! * [`bisync`] — the behavioural bi-synchronous FIFO used for every clock
 //!   domain crossing in aelite.
 //!
@@ -54,6 +56,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bisync;
+pub mod calendar;
 pub mod clock;
 pub mod module;
 pub mod scheduler;
@@ -61,6 +64,7 @@ pub mod signal;
 pub mod time;
 
 pub use bisync::{BisyncFifo, SharedBisync};
+pub use calendar::{CoincidenceGroup, EdgeCalendar};
 pub use clock::{ClockSpec, DomainId};
 pub use module::{EdgeContext, Module};
 pub use scheduler::{ModuleId, Simulator};

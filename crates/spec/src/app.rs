@@ -198,6 +198,36 @@ impl SystemSpec {
         copy.config = copy.config.at_frequency(frequency_mhz);
         copy
     }
+
+    /// A copy of this spec with `stages` mesochronous link pipeline
+    /// stages per link and every latency contract scaled by
+    /// `latency_factor` — used to re-target a drawn workload at the
+    /// mesochronous organisation (paper Section V), where each hop costs
+    /// an extra TDM slot and contracts drawn for the synchronous NoC may
+    /// no longer be meetable.
+    #[must_use]
+    pub fn with_link_pipeline_stages(&self, stages: u32, latency_factor: u64) -> SystemSpec {
+        let mut copy = self.clone();
+        copy.config.link_pipeline_stages = stages;
+        for c in &mut copy.connections {
+            c.max_latency_ns = c.max_latency_ns.saturating_mul(latency_factor);
+        }
+        copy
+    }
+
+    /// A copy of this spec with every connection's offered-load pattern
+    /// replaced by `pattern` — contracts, mapping and ids are unchanged,
+    /// so allocations carry over directly. Used by the simulator
+    /// cross-validation tests to drive one workload under different
+    /// traffic regimes.
+    #[must_use]
+    pub fn with_pattern(&self, pattern: TrafficPattern) -> SystemSpec {
+        let mut copy = self.clone();
+        for c in &mut copy.connections {
+            c.pattern = pattern;
+        }
+        copy
+    }
 }
 
 /// Builder for [`SystemSpec`].

@@ -1,0 +1,26 @@
+//! The clone-and-retarget transformers used by the simulator
+//! cross-validation suite.
+
+use aelite_spec::generate::paper_workload;
+use aelite_spec::traffic::TrafficPattern;
+
+#[test]
+fn link_pipeline_transformer_rescales_latencies() {
+    let spec = paper_workload(42);
+    let meso = spec.with_link_pipeline_stages(1, 4);
+    assert_eq!(meso.config().link_pipeline_stages, 1);
+    assert_eq!(meso.connections().len(), spec.connections().len());
+    for (a, b) in spec.connections().iter().zip(meso.connections()) {
+        assert_eq!(b.max_latency_ns, a.max_latency_ns * 4);
+        assert_eq!(a.id, b.id);
+    }
+}
+
+#[test]
+fn pattern_transformer_replaces_every_pattern() {
+    let spec = paper_workload(42).with_pattern(TrafficPattern::Saturating);
+    assert!(spec
+        .connections()
+        .iter()
+        .all(|c| c.pattern == TrafficPattern::Saturating));
+}

@@ -9,6 +9,7 @@
 //! cargo run --release --example dse_sweep -- --threads 4  # fixed worker count
 //! cargo run --release --example dse_sweep -- --out my.json
 //! cargo run --release --example dse_sweep -- --check      # gate an existing report
+//! cargo run --release --example dse_sweep -- --reduced --validate
 //! ```
 //!
 //! The report is deterministic: the same grid produces byte-identical
@@ -16,10 +17,17 @@
 //! coordinates, never from the schedule). `--check` verifies an already
 //! written report — CI uses it to gate the committed `DSE_REPORT.json`
 //! before regenerating its own reduced sweep.
+//!
+//! `--validate` replays every Pareto-front point through the turbo
+//! cycle-accurate kernel (`aelite_noc::turbo`) and asserts the measured
+//! worst-case per-flit latency of every connection stays within the
+//! analytical bound the report advertises — simulation-backed evidence
+//! for the front, cheap enough for CI.
 
 use aelite_dse::engine::run_sweep;
 use aelite_dse::grid::DseGrid;
 use aelite_dse::report::check_report_text;
+use aelite_dse::validate::{validate_front, validation_table_header, VALIDATE_DURATION_CYCLES};
 use std::time::Instant;
 
 fn main() {
@@ -28,11 +36,13 @@ fn main() {
     let mut threads = 0usize; // 0 = one worker per CPU
     let mut out = String::from("DSE_REPORT.json");
     let mut check: Option<String> = None;
+    let mut validate = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--reduced" => grid = DseGrid::reduced(),
+            "--validate" => validate = true,
             "--threads" => {
                 i += 1;
                 threads = args
@@ -100,4 +110,24 @@ fn main() {
     let json = report.to_json();
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("\nwrote {out} ({} points)", report.points.len());
+
+    // Simulation-backed validation of the front: replay each Pareto
+    // point through the turbo kernel; any connection whose measured
+    // worst-case latency exceeds its analytical bound panics there.
+    if validate {
+        println!(
+            "\nvalidating {} Pareto point(s) over {VALIDATE_DURATION_CYCLES} cycles each",
+            report.pareto.len()
+        );
+        let t0 = Instant::now();
+        let rows = validate_front(&report, VALIDATE_DURATION_CYCLES);
+        println!("{}", validation_table_header());
+        for row in &rows {
+            println!("{row}");
+        }
+        println!(
+            "validated in {:.2} s: every measured worst case within its analytical bound",
+            t0.elapsed().as_secs_f64()
+        );
+    }
 }

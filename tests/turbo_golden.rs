@@ -1,0 +1,98 @@
+//! Golden equivalence: the compiled turbo kernel must reproduce the
+//! event-driven cycle-accurate simulator **bit for bit** — every
+//! `FlitDelivery` record (connection, tag, destination cycle, absolute
+//! time) identical — on the paper platform and on scaled meshes, in
+//! both clocking organisations.
+//!
+//! This is the contract that lets the DSE `--validate` stage and the
+//! throughput benchmarks trust the turbo engine: the event-driven
+//! `aelite_sim::scheduler::Simulator` build stays the golden reference,
+//! and these tests are the pin holding the two together.
+
+use aelite_alloc::allocate;
+use aelite_noc::network::{build_network, NetworkKind};
+use aelite_noc::turbo::build_turbo;
+use aelite_spec::app::SystemSpec;
+use aelite_spec::generate::{paper_workload, scaled_workload};
+
+/// Runs both engines with CBR traffic for `cycles` and asserts every
+/// connection's delivery log identical; returns total flits compared.
+fn assert_golden(spec: &SystemSpec, kind: NetworkKind, cycles: u64) -> u64 {
+    let alloc = allocate(spec).expect("workload allocates");
+    let mut event = build_network(spec, &alloc, kind, true);
+    let mut turbo = build_turbo(spec, &alloc, kind, true);
+    event.run_cycles(cycles);
+    turbo.run_cycles(cycles);
+    let mut flits = 0u64;
+    for c in spec.connections() {
+        let ev = event.log(c.id).borrow();
+        let tb = turbo.log(c.id).borrow();
+        assert_eq!(*ev, *tb, "{}: delivery logs diverge", c.id);
+        flits += ev.len() as u64;
+    }
+    assert!(flits > 0, "nothing delivered in {cycles} cycles");
+    flits
+}
+
+#[test]
+fn paper_platform_synchronous_golden() {
+    // Section VII: 4x3 mesh, 12 routers, 48 NIs, 200 connections.
+    let spec = paper_workload(42);
+    let flits = assert_golden(&spec, NetworkKind::Synchronous, 10_000);
+    assert!(flits > 10_000, "only {flits} flits on the paper platform");
+}
+
+#[test]
+fn paper_platform_mesochronous_golden() {
+    let spec = paper_workload(42).with_link_pipeline_stages(1, 1);
+    for seed in [7u64, 41] {
+        assert_golden(&spec, NetworkKind::Mesochronous { phase_seed: seed }, 5_000);
+    }
+}
+
+#[test]
+fn scaled_4x4_synchronous_golden() {
+    let spec = scaled_workload(4, 4, 4, 500, 1);
+    assert_golden(&spec, NetworkKind::Synchronous, 6_000);
+}
+
+#[test]
+fn scaled_4x4_mesochronous_golden() {
+    // Mesochronous hops cost an extra TDM slot, so the contracts drawn
+    // for the synchronous organisation get a 2x latency margin.
+    let spec = scaled_workload(4, 4, 4, 500, 1).with_link_pipeline_stages(1, 2);
+    assert_golden(&spec, NetworkKind::Mesochronous { phase_seed: 11 }, 3_000);
+}
+
+#[test]
+fn scaled_8x8_synchronous_golden() {
+    let spec = scaled_workload(8, 8, 4, 1000, 1);
+    assert_golden(&spec, NetworkKind::Synchronous, 3_000);
+}
+
+#[test]
+fn scaled_8x8_mesochronous_golden() {
+    let spec = scaled_workload(8, 8, 4, 1000, 1).with_link_pipeline_stages(1, 2);
+    assert_golden(&spec, NetworkKind::Mesochronous { phase_seed: 23 }, 2_000);
+}
+
+#[test]
+fn turbo_latency_stays_within_the_analytical_bound_on_the_paper_platform() {
+    // The property the DSE --validate stage replays per Pareto point:
+    // measured worst-case per-flit latency never exceeds the bound.
+    let spec = paper_workload(42);
+    let alloc = allocate(&spec).expect("allocates");
+    let mut turbo = build_turbo(&spec, &alloc, NetworkKind::Synchronous, true);
+    turbo.run_cycles(30_000);
+    for c in spec.connections() {
+        let lat = turbo.latency(c.id);
+        let bound = alloc.worst_case_latency_cycles(&spec, c.id);
+        assert!(lat.flits > 0, "{} delivered nothing", c.id);
+        assert!(
+            lat.max_cycles <= bound,
+            "{}: measured {} cycles > analytical bound {bound}",
+            c.id,
+            lat.max_cycles
+        );
+    }
+}
