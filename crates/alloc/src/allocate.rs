@@ -43,6 +43,10 @@ pub struct Grant {
 #[derive(Debug, Clone)]
 pub struct Allocation {
     table_size: u32,
+    /// `slots_per_hop` of the config this allocation was built for — the
+    /// per-link slot shift, remembered so a grant can be torn down from
+    /// its own slot list in O(slots × links) without consulting the spec.
+    slots_per_hop: u32,
     link_tables: Vec<SlotTable>,
     grants: Vec<Option<Grant>>,
 }
@@ -51,6 +55,7 @@ impl Allocation {
     pub(crate) fn empty(spec: &SystemSpec) -> Self {
         Allocation {
             table_size: spec.config().slot_table_size,
+            slots_per_hop: spec.config().slots_per_hop(),
             link_tables: (0..spec.topology().link_count())
                 .map(|_| SlotTable::new(spec.config().slot_table_size))
                 .collect(),
@@ -76,13 +81,47 @@ impl Allocation {
     /// Releases the grant of `conn`, freeing its slots; `false` if it
     /// held none. Used by the reconfiguration flow.
     pub(crate) fn release_grant(&mut self, conn: aelite_spec::ids::ConnId) -> bool {
-        let Some(grant) = self.grants.get_mut(conn.index()).and_then(Option::take) else {
-            return false;
-        };
-        for &l in &grant.links {
-            self.link_tables[l.index()].release_all(conn);
+        self.take_grant(conn).is_some()
+    }
+
+    /// Releases the grant of `conn` and returns it — the O(Δ) teardown
+    /// kernel of the online reconfiguration flow.
+    ///
+    /// The grant's own slot list is the exact set of reservations it
+    /// holds (slot `s + i * slots_per_hop` on link *i*), so teardown
+    /// touches precisely `inject_slots × links` table entries and their
+    /// free-mask words: proportional to the connection being closed, not
+    /// to the platform. Callers that churn connections at high rate keep
+    /// the returned [`Grant`] in an [`AllocScratch`] pool so its buffers
+    /// are recycled by the next admission.
+    pub fn take_grant(&mut self, conn: ConnId) -> Option<Grant> {
+        let grant = self.grants.get_mut(conn.index()).and_then(Option::take)?;
+        for (i, &l) in grant.links.iter().enumerate() {
+            let table = &mut self.link_tables[l.index()];
+            for &s in &grant.inject_slots {
+                let prev = table.release(s + i as u32 * self.slots_per_hop);
+                debug_assert_eq!(prev, Some(conn), "table out of sync with grant");
+            }
         }
-        true
+        Some(grant)
+    }
+
+    /// Asserts `spec` describes the platform this allocation was built
+    /// for: same slot-table size *and* per-hop slot shift. A grant
+    /// reserved under one shift must never be torn down under another —
+    /// two configs can share a table size yet differ in link pipeline
+    /// depth (exactly the DSE grid's variation).
+    pub(crate) fn assert_same_platform(&self, spec: &SystemSpec) {
+        assert_eq!(
+            self.table_size,
+            spec.config().slot_table_size,
+            "allocation and spec disagree on the slot-table size"
+        );
+        assert_eq!(
+            self.slots_per_hop,
+            spec.config().slots_per_hop(),
+            "allocation and spec disagree on slots per hop (link pipeline depth)"
+        );
     }
 
     /// Grows the per-connection grant storage to cover `spec`'s ids
@@ -308,6 +347,73 @@ impl fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
+/// Reusable working memory for the allocation kernels.
+///
+/// One admission asks for a candidate bitset, a working copy, a chosen
+/// slot list and (on failure paths) a free-slot list. Batch allocation
+/// amortises those over a whole pass; the online churn path cannot — a
+/// million setup/teardown operations per second would mean a million
+/// short-lived heap allocations per second. An `AllocScratch` owns all
+/// of those buffers plus a pool of recycled [`Grant`]s (returned by
+/// [`Allocation::take_grant`] on teardown), so the steady-state churn
+/// loop of [`Allocator::admit`] runs allocation-free: every buffer a
+/// setup needs is one a previous teardown gave back.
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    /// Candidate injection slots free on every link (rotate-and-AND).
+    cand: Option<SlotMask>,
+    /// Working copy for the selection kernels.
+    work: Option<SlotMask>,
+    /// Chosen injection slots; swapped into the committed grant.
+    chosen: Vec<u32>,
+    /// Free-slot list materialised only on failure paths.
+    all_free: Vec<u32>,
+    /// Recycled grants whose buffers the next admission reuses.
+    spare: Vec<Grant>,
+}
+
+/// Upper bound on pooled grants: enough that a use-case switch closing a
+/// whole application recycles every buffer, small enough that the pool
+/// never holds more than a few KiB.
+const SPARE_GRANTS_MAX: usize = 256;
+
+impl AllocScratch {
+    /// An empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        AllocScratch::default()
+    }
+
+    /// Returns the bitset pair sized for `size`-slot tables, reallocating
+    /// only when the table size changes (i.e. never, on one platform).
+    fn masks(&mut self, size: u32) -> (&mut SlotMask, &mut SlotMask) {
+        if self.cand.as_ref().map(SlotMask::size) != Some(size) {
+            self.cand = Some(SlotMask::new_full(size));
+            self.work = Some(SlotMask::new_empty(size));
+        }
+        (
+            self.cand.as_mut().expect("just ensured"),
+            self.work.as_mut().expect("just ensured"),
+        )
+    }
+
+    /// Hands a torn-down grant's buffers back for the next admission.
+    pub fn recycle(&mut self, mut grant: Grant) {
+        if self.spare.len() < SPARE_GRANTS_MAX {
+            grant.inject_slots.clear();
+            grant.links.clear();
+            grant.path.ports.clear();
+            self.spare.push(grant);
+        }
+    }
+
+    /// How many recycled grants are pooled (for tests and diagnostics).
+    #[must_use]
+    pub fn pooled_grants(&self) -> usize {
+        self.spare.len()
+    }
+}
+
 /// Configuration of the allocation heuristic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Allocator {
@@ -353,6 +459,17 @@ impl Allocator {
         self.allocate_with_cache(spec, &mut routes)
     }
 
+    /// The phase-salt retry sequence, with the default fallback when the
+    /// configured list is empty — the single source of truth shared by
+    /// batch allocation, reconfiguration and online admission.
+    pub(crate) fn salts(&self) -> &[u32] {
+        if self.phase_salts.is_empty() {
+            &[13]
+        } else {
+            self.phase_salts
+        }
+    }
+
     /// [`allocate`](Self::allocate) with a caller-supplied [`RouteCache`],
     /// so repeated allocations over the same topology (e.g. a
     /// design-space sweep, or re-allocation under churn) skip route
@@ -376,19 +493,15 @@ impl Allocator {
             self.max_paths,
             "route cache was built for a different max_paths bound"
         );
-        let salts: &[u32] = if self.phase_salts.is_empty() {
-            &[13]
-        } else {
-            self.phase_salts
-        };
+        let mut scratch = AllocScratch::new();
         let mut last_err = None;
-        for &salt in salts {
+        for &salt in self.salts() {
             // Deterministic rip-up-and-retry: a pass failing on connection
             // X reruns with X served first (before the heuristic order),
             // so X picks its slots while the tables are still unfragmented.
             let mut promoted: Vec<ConnId> = Vec::new();
             loop {
-                match self.allocate_pass(spec, salt, &promoted, routes) {
+                match self.allocate_pass(spec, salt, &promoted, routes, &mut scratch) {
                     Ok(a) => return Ok(a),
                     Err(e) => {
                         let failed = match &e {
@@ -417,6 +530,7 @@ impl Allocator {
         salt: u32,
         promoted: &[ConnId],
         routes: &mut RouteCache,
+        scratch: &mut AllocScratch,
     ) -> Result<Allocation, AllocError> {
         let mut alloc = Allocation::empty(spec);
 
@@ -441,9 +555,58 @@ impl Allocator {
         admission_order(spec, &mut order);
 
         for &conn in promoted.iter().chain(order.iter()) {
-            self.allocate_one(spec, &mut alloc, conn, salt, routes)?;
+            self.allocate_one(spec, &mut alloc, conn, salt, routes, scratch)?;
         }
         Ok(alloc)
+    }
+
+    /// Admits a single ungranted connection into a live allocation — the
+    /// setup half of the online reconfiguration hot path.
+    ///
+    /// Semantically identical to
+    /// [`extend_with_cache`](Self::extend_with_cache) with a one-element
+    /// list, but shaped for sustained churn: no admission-order sort, no
+    /// per-call allocation (all working memory comes from `scratch`,
+    /// including recycled grant buffers), and the phase-salt retries run
+    /// inline. Existing grants are never touched (the paper's
+    /// undisturbed-service model); on failure the allocation is exactly
+    /// as it was.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`AllocError`] if no phase salt finds a grant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` already holds a grant, or if `alloc`/`routes`
+    /// were built for a different table size / `max_paths` bound.
+    pub fn admit(
+        &self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        conn: ConnId,
+        routes: &mut RouteCache,
+        scratch: &mut AllocScratch,
+    ) -> Result<(), AllocError> {
+        alloc.assert_same_platform(spec);
+        assert_eq!(
+            routes.max_paths(),
+            self.max_paths,
+            "route cache was built for a different max_paths bound"
+        );
+        alloc.grow_for(spec);
+        assert!(
+            alloc.grant(conn).is_none(),
+            "{conn} already holds a grant; release it before re-allocating"
+        );
+        let mut last_err = None;
+        for &salt in self.salts() {
+            match self.allocate_one(spec, alloc, conn, salt, routes, scratch) {
+                Ok(()) => return Ok(()),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one salt attempted"))
     }
 
     pub(crate) fn allocate_one(
@@ -453,6 +616,7 @@ impl Allocator {
         conn: ConnId,
         salt: u32,
         routes: &mut RouteCache,
+        scratch: &mut AllocScratch,
     ) -> Result<(), AllocError> {
         let cfg = spec.config();
         let c = spec.connection(conn);
@@ -468,12 +632,21 @@ impl Allocator {
         let latency_budget_cycles = (c.max_latency_ns as f64 / cfg.cycle_ns()).floor() as u64;
         let shift = cfg.slots_per_hop();
 
-        // Scratch reused across candidate paths: the bitset of injection
+        // Working memory from the caller's scratch, reused across
+        // candidate paths *and* across calls: the bitset of injection
         // slots free on every link, a working copy for the selection
-        // kernels, and a slot list materialised only on failure paths.
-        let mut cand = SlotMask::new_full(size);
-        let mut work = SlotMask::new_empty(size);
-        let mut all_free: Vec<u32> = Vec::new();
+        // kernels, the chosen-slot buffer, a slot list materialised only
+        // on failure paths, and the recycled-grant pool.
+        scratch.masks(size);
+        let AllocScratch {
+            cand,
+            work,
+            chosen,
+            all_free,
+            spare,
+        } = scratch;
+        let cand = cand.as_mut().expect("masks() sized the scratch");
+        let work = work.as_mut().expect("masks() sized the scratch");
 
         // Candidates are pulled from the cache one index at a time, so the
         // expensive detour enumeration only runs for connections that
@@ -517,37 +690,32 @@ impl Allocator {
             if self.latency_aware && allowed_gap == 0 {
                 // Even an immediately-due slot would miss the deadline on
                 // this path; record the hypothetical best and move on.
-                best_latency_cycles = best_latency_cycles.min(latency_of_all(&mut all_free));
+                best_latency_cycles = best_latency_cycles.min(latency_of_all(all_free));
                 continue;
             }
 
-            let mut chosen = if self.latency_aware && allowed_gap < size {
-                match cover_with_gap(&cand, allowed_gap, size) {
-                    Some(cover) => {
-                        work.copy_from(&cand);
-                        for &s in &cover {
-                            work.clear(s);
-                        }
-                        cover
+            if self.latency_aware && allowed_gap < size {
+                if cover_with_gap(cand, allowed_gap, size, chosen) {
+                    work.copy_from(cand);
+                    for &s in chosen.iter() {
+                        work.clear(s);
                     }
-                    None => {
-                        best_latency_cycles =
-                            best_latency_cycles.min(latency_of_all(&mut all_free));
-                        continue;
-                    }
+                } else {
+                    best_latency_cycles = best_latency_cycles.min(latency_of_all(all_free));
+                    continue;
                 }
             } else {
                 // No latency pressure: stagger the spread per connection so
                 // unrelated connections don't pile onto the same phase.
                 let phase = (conn.index() as u32).wrapping_mul(salt) % size;
-                work.copy_from(&cand);
-                spread_selection(&mut work, needed, size, phase)
-            };
+                work.copy_from(cand);
+                spread_selection(work, needed, size, phase, chosen);
+            }
 
             // Top up to the bandwidth minimum, filling the largest gaps
             // (`work` holds the free slots not yet chosen).
             while (chosen.len() as u32) < needed {
-                match best_gap_filler(&chosen, &work, size) {
+                match best_gap_filler(chosen, work, size) {
                     Some(extra) => {
                         work.clear(extra);
                         chosen.push(extra);
@@ -560,26 +728,39 @@ impl Allocator {
                 continue;
             }
 
-            let achieved = latency_of(&chosen);
+            let achieved = latency_of(chosen);
             best_latency_cycles = best_latency_cycles.min(achieved);
             if achieved > latency_budget_cycles {
                 continue;
             }
 
-            // Commit.
-            for &s in &chosen {
+            // Commit, recycling a torn-down grant's buffers when the pool
+            // has one (clone_from / swap reuse existing capacity, so the
+            // steady-state churn loop allocates nothing).
+            for &s in chosen.iter() {
                 for (i, &l) in links.iter().enumerate() {
                     alloc.link_tables[l.index()]
                         .reserve(s + i as u32 * shift, conn)
                         .expect("slot was checked free");
                 }
             }
-            alloc.grants[conn.index()] = Some(Grant {
+            let mut grant = spare.pop().unwrap_or_else(|| Grant {
                 conn,
-                path: route.path.clone(),
-                inject_slots: chosen,
-                links: links.clone(),
+                path: Path {
+                    src: src_ni,
+                    dst: dst_ni,
+                    ports: Vec::new(),
+                },
+                inject_slots: Vec::new(),
+                links: Vec::new(),
             });
+            grant.conn = conn;
+            grant.path.src = route.path.src;
+            grant.path.dst = route.path.dst;
+            grant.path.ports.clone_from(&route.path.ports);
+            grant.links.clone_from(links);
+            core::mem::swap(&mut grant.inject_slots, chosen);
+            alloc.grants[conn.index()] = Some(grant);
             return Ok(());
         }
 
@@ -617,9 +798,10 @@ pub fn allocate(spec: &SystemSpec) -> Result<Allocation, AllocError> {
     Allocator::new().allocate(spec)
 }
 
-/// Picks `needed` slots from the set bits of `avail` as close as possible
-/// to an ideal even spread over the table, anchored at `phase`, clearing
-/// each pick from `avail` (on return, `avail` holds the unchosen slots).
+/// Picks `needed` slots from the set bits of `avail` into `out` (cleared
+/// first) as close as possible to an ideal even spread over the table,
+/// anchored at `phase`, clearing each pick from `avail` (on return,
+/// `avail` holds the unchosen slots).
 ///
 /// Each pick is a word-level nearest-set-bit scan ([`SlotMask::nearest_one`]
 /// breaks distance ties towards the smaller slot, matching the original
@@ -627,22 +809,22 @@ pub fn allocate(spec: &SystemSpec) -> Result<Allocation, AllocError> {
 /// O(needed × size/64) with no inner-loop allocation — the original
 /// scanned the whole free list and a `chosen.contains` per candidate,
 /// O(needed² × free).
-fn spread_selection(avail: &mut SlotMask, needed: u32, size: u32, phase: u32) -> Vec<u32> {
+fn spread_selection(avail: &mut SlotMask, needed: u32, size: u32, phase: u32, out: &mut Vec<u32>) {
     debug_assert!(avail.count() >= needed);
-    let mut chosen: Vec<u32> = Vec::with_capacity(needed as usize);
+    out.clear();
     for i in 0..needed {
         let ideal = (phase + (u64::from(i) * u64::from(size) / u64::from(needed)) as u32) % size;
         if let Some(s) = avail.nearest_one(ideal) {
-            chosen.push(s);
+            out.push(s);
             avail.clear(s);
         }
     }
-    chosen.sort_unstable();
-    chosen
+    out.sort_unstable();
 }
 
 /// Chooses a minimal set of slots from the set bits of `free` whose
-/// circular gaps never exceed `gap`, or `None` if impossible.
+/// circular gaps never exceed `gap`, writing it into `out` (cleared
+/// first) and returning whether a cover exists.
 ///
 /// Classic circular greedy cover: from a fixed start, repeatedly jump to
 /// the farthest free slot within `gap`. A cover exists iff no circular gap
@@ -653,24 +835,27 @@ fn spread_selection(avail: &mut SlotMask, needed: u32, size: u32, phase: u32) ->
 /// the first start either succeeds or none do). Each jump is one
 /// backwards bit scan, with no per-start retry loop and no inner-loop
 /// allocation.
-fn cover_with_gap(free: &SlotMask, gap: u32, size: u32) -> Option<Vec<u32>> {
+fn cover_with_gap(free: &SlotMask, gap: u32, size: u32, out: &mut Vec<u32>) -> bool {
+    out.clear();
     if gap == 0 {
-        return None;
+        return false;
     }
-    if free.max_circular_gap()? > gap {
-        return None;
+    match free.max_circular_gap() {
+        None => return false,
+        Some(g) if g > gap => return false,
+        Some(_) => {}
     }
     // Forward circular distance from a to b, in 1..=size (b == a -> size).
     let fwd = |a: u32, b: u32| (b + size - a - 1) % size + 1;
     let start = free.first_one().expect("non-empty: gap check passed");
-    let mut chosen = vec![start];
+    out.push(start);
     let mut cur = start;
     loop {
         // When the forward distance back to the start is within the
         // allowed gap, the circle is covered.
         if fwd(cur, start) <= gap {
-            chosen.sort_unstable();
-            return Some(chosen);
+            out.sort_unstable();
+            return true;
         }
         // Jump to the farthest free slot within `gap` ahead: the first set
         // bit at or before `cur + gap`, scanning backwards. Because every
@@ -681,7 +866,7 @@ fn cover_with_gap(free: &SlotMask, gap: u32, size: u32) -> Option<Vec<u32>> {
             .prev_one_circular((cur + gap) % size)
             .expect("free set is non-empty");
         debug_assert!(next != cur && fwd(cur, next) <= gap);
-        chosen.push(next);
+        out.push(next);
         cur = next;
     }
 }
@@ -725,6 +910,18 @@ mod tests {
     use aelite_spec::ids::NiId;
     use aelite_spec::topology::Topology;
     use aelite_spec::traffic::Bandwidth;
+
+    /// Old-signature adapters for the kernel pin tests.
+    fn spread(avail: &mut SlotMask, needed: u32, size: u32, phase: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        spread_selection(avail, needed, size, phase, &mut out);
+        out
+    }
+
+    fn cover(free: &SlotMask, gap: u32, size: u32) -> Option<Vec<u32>> {
+        let mut out = vec![99; 3]; // stale contents must not leak through
+        cover_with_gap(free, gap, size, &mut out).then_some(out)
+    }
 
     fn two_conn_spec() -> SystemSpec {
         let topo = Topology::mesh(2, 1, 1);
@@ -885,13 +1082,13 @@ mod tests {
     #[test]
     fn spread_selection_is_even_when_table_free() {
         let mut avail = SlotMask::new_full(32);
-        let chosen = spread_selection(&mut avail, 4, 32, 0);
+        let chosen = spread(&mut avail, 4, 32, 0);
         assert_eq!(chosen, vec![0, 8, 16, 24]);
         // The picks are consumed from the working mask.
         assert_eq!(avail.count(), 28);
         assert!(!avail.get(8));
         let mut avail = SlotMask::new_full(32);
-        let staggered = spread_selection(&mut avail, 4, 32, 5);
+        let staggered = spread(&mut avail, 4, 32, 5);
         assert_eq!(staggered, vec![5, 13, 21, 29]);
     }
 
@@ -930,7 +1127,7 @@ mod tests {
                 for phase in [0u32, 5, size - 1] {
                     let mut avail = SlotMask::from_slots(size, &free);
                     assert_eq!(
-                        spread_selection(&mut avail, needed, size, phase),
+                        spread(&mut avail, needed, size, phase),
                         reference(&free, needed, size, phase),
                         "size {size} needed {needed} phase {phase}"
                     );
@@ -976,7 +1173,7 @@ mod tests {
             let mask = SlotMask::from_slots(size, &free);
             for gap in [0u32, 1, 2, 5, size / 2, size - 1] {
                 assert_eq!(
-                    cover_with_gap(&mask, gap, size),
+                    cover(&mask, gap, size),
                     reference(&free, gap, size),
                     "size {size} gap {gap}"
                 );
@@ -984,8 +1181,65 @@ mod tests {
         }
         // Sparse sets where no cover exists.
         let mask = SlotMask::from_slots(64, &[0, 40]);
-        assert_eq!(cover_with_gap(&mask, 10, 64), None);
+        assert_eq!(cover(&mask, 10, 64), None);
         assert_eq!(reference(&[0, 40], 10, 64), None);
+    }
+
+    #[test]
+    fn admit_and_take_grant_roundtrip_without_disturbance() {
+        let spec = aelite_spec::generate::paper_workload(7);
+        let allocator = Allocator::new();
+        let mut alloc = allocator.allocate(&spec).unwrap();
+        let mut routes = RouteCache::new(spec.topology(), allocator.max_paths);
+        let mut scratch = AllocScratch::new();
+        let victim = spec.connections()[17].id;
+        let others: Vec<Grant> = alloc
+            .grants()
+            .filter(|g| g.conn != victim)
+            .cloned()
+            .collect();
+
+        // Teardown is O(Δ) and returns the grant for recycling.
+        let taken = alloc.take_grant(victim).expect("was granted");
+        assert_eq!(taken.conn, victim);
+        assert!(alloc.grant(victim).is_none());
+        assert!(alloc.take_grant(victim).is_none(), "second take is a no-op");
+        let shift = spec.config().slots_per_hop();
+        for &s in &taken.inject_slots {
+            for (i, &l) in taken.links.iter().enumerate() {
+                assert!(alloc.link_table(l).is_free(s + i as u32 * shift));
+            }
+        }
+        scratch.recycle(taken);
+        assert_eq!(scratch.pooled_grants(), 1);
+
+        // Re-admission reuses the pooled buffers and disturbs nobody.
+        allocator
+            .admit(&spec, &mut alloc, victim, &mut routes, &mut scratch)
+            .expect("freed resources suffice");
+        assert_eq!(scratch.pooled_grants(), 0, "pooled grant was consumed");
+        assert!(alloc.grant(victim).is_some());
+        for g in others {
+            assert_eq!(alloc.grant(g.conn).unwrap(), &g, "{} moved", g.conn);
+        }
+        crate::validate::validate(&spec, &alloc).expect("still consistent");
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds a grant")]
+    fn admit_rejects_granted_connection() {
+        let spec = two_conn_spec();
+        let allocator = Allocator::new();
+        let mut alloc = allocator.allocate(&spec).unwrap();
+        let mut routes = RouteCache::new(spec.topology(), allocator.max_paths);
+        let mut scratch = AllocScratch::new();
+        let _ = allocator.admit(
+            &spec,
+            &mut alloc,
+            spec.connections()[0].id,
+            &mut routes,
+            &mut scratch,
+        );
     }
 
     #[test]

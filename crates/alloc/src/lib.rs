@@ -39,7 +39,9 @@ pub mod route_cache;
 pub mod table;
 pub mod validate;
 
-pub use allocate::{admission_order, allocate, AllocError, Allocation, Allocator, Grant};
+pub use allocate::{
+    admission_order, allocate, AllocError, AllocScratch, Allocation, Allocator, Grant,
+};
 pub use mask::SlotMask;
 pub use path::{dimension_ordered, route_candidates, Path, PathError};
 pub use reconfigure::release;

@@ -76,11 +76,7 @@ impl Allocator {
         new_conns: &[ConnId],
         routes: &mut RouteCache,
     ) -> Result<(), AllocError> {
-        assert_eq!(
-            alloc.table_size(),
-            spec.config().slot_table_size,
-            "allocation and spec disagree on the slot-table size"
-        );
+        alloc.assert_same_platform(spec);
         assert_eq!(
             routes.max_paths(),
             self.max_paths,
@@ -96,16 +92,12 @@ impl Allocator {
 
         let mut order: Vec<ConnId> = new_conns.to_vec();
         crate::allocate::admission_order(spec, &mut order);
+        let mut scratch = crate::allocate::AllocScratch::new();
         for conn in order {
             let mut last_err = None;
-            let salts: &[u32] = if self.phase_salts.is_empty() {
-                &[13]
-            } else {
-                self.phase_salts
-            };
             let mut done = false;
-            for &salt in salts {
-                match self.allocate_one(spec, alloc, conn, salt, routes) {
+            for &salt in self.salts() {
+                match self.allocate_one(spec, alloc, conn, salt, routes, &mut scratch) {
                     Ok(()) => {
                         done = true;
                         break;

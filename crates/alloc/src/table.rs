@@ -105,13 +105,34 @@ impl SlotTable {
     }
 
     /// Releases every slot owned by `conn`, returning how many there were.
+    ///
+    /// Sub-linear in the table size: instead of probing every owner entry,
+    /// the scan walks the *reserved* slots through the free mask's
+    /// complement one word at a time (`trailing_zeros` per reserved slot),
+    /// so a lightly-loaded table costs O(reserved) rather than O(size).
+    /// (Grant-based teardown — the online churn hot path — goes further:
+    /// [`Allocation::take_grant`](crate::allocate::Allocation::take_grant)
+    /// releases exactly the grant's own slots without any scan; this
+    /// method serves callers that hold no grant record.)
     pub fn release_all(&mut self, conn: ConnId) -> u32 {
         let mut n = 0;
-        for (i, s) in self.slots.iter_mut().enumerate() {
-            if *s == Some(conn) {
-                *s = None;
-                self.free.set(i as u32);
-                n += 1;
+        let tail = self.free.tail_mask();
+        let last = self.free.word_count() - 1;
+        for wi in 0..=last {
+            // Reserved slots of this word (free-mask complement, with
+            // out-of-range bits masked off in the final word).
+            let mut reserved = !self.free.word(wi);
+            if wi == last {
+                reserved &= tail;
+            }
+            while reserved != 0 {
+                let s = wi as u32 * 64 + reserved.trailing_zeros();
+                reserved &= reserved - 1;
+                if self.slots[s as usize] == Some(conn) {
+                    self.slots[s as usize] = None;
+                    self.free.set(s);
+                    n += 1;
+                }
             }
         }
         n
@@ -287,6 +308,37 @@ mod tests {
         assert_eq!(t.release_all(c(0)), 2);
         assert_eq!(t.reserved_count(), 1);
         assert_eq!(t.owner(1), Some(c(1)));
+    }
+
+    #[test]
+    fn release_all_word_scan_matches_owner_scan() {
+        // Pin the complement-word-scan teardown against the original
+        // probe-every-slot implementation across word-boundary sizes.
+        for size in [1u32, 7, 63, 64, 65, 100, 128, 130] {
+            let mut t = SlotTable::new(size);
+            for s in 0..size {
+                match (s * 7 + 3) % 5 {
+                    0 => t.reserve(s, c(0)).unwrap(),
+                    1 => t.reserve(s, c(1)).unwrap(),
+                    _ => {}
+                }
+            }
+            let mut reference = t.clone();
+            // The original implementation, inlined as the oracle.
+            let mut expect = 0;
+            for s in 0..size {
+                if reference.owner(s) == Some(c(0)) {
+                    reference.release(s);
+                    expect += 1;
+                }
+            }
+            assert_eq!(t.release_all(c(0)), expect, "size {size}");
+            assert_eq!(t, reference, "size {size}");
+            // Free mask stays in lock-step with the owner vector.
+            for s in 0..size {
+                assert_eq!(t.is_free(s), t.owner(s).is_none(), "size {size} slot {s}");
+            }
+        }
     }
 
     #[test]

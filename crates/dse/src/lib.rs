@@ -21,6 +21,12 @@
 //! * [`validate`] — the simulation-backed check: every Pareto-front
 //!   point is replayed through `aelite_noc`'s turbo kernel and the
 //!   measured worst-case latency asserted against the analytical bound.
+//! * [`churn`] — the online-reconfiguration scenario: every Pareto-front
+//!   point is driven through `aelite_online`'s [`ChurnEngine`] under a
+//!   Poisson open/close/use-case-switch trace, reporting its admission
+//!   outcome and sustained churn rate alongside area and throughput.
+//!
+//! [`ChurnEngine`]: aelite_online::ChurnEngine
 //!
 //! Determinism is the design constraint throughout: every per-point
 //! quantity is a pure function of the point's coordinates, so the same
@@ -54,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod churn;
 pub mod engine;
 pub mod grid;
 pub mod pareto;

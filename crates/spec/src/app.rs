@@ -183,6 +183,18 @@ impl SystemSpec {
         copy
     }
 
+    /// A copy of this spec containing only the listed connections (ids
+    /// preserved, order kept) — the "surviving set" view the online
+    /// churn flow validates and re-allocates against after a stream of
+    /// setups and teardowns.
+    #[must_use]
+    pub fn restricted_to_connections(&self, conns: &[ConnId]) -> SystemSpec {
+        let keep: std::collections::HashSet<ConnId> = conns.iter().copied().collect();
+        let mut copy = self.clone();
+        copy.connections.retain(|c| keep.contains(&c.id));
+        copy
+    }
+
     /// Total contracted bandwidth entering the NoC.
     #[must_use]
     pub fn total_bandwidth(&self) -> Bandwidth {

@@ -13,6 +13,8 @@
 //!   complete [`app::SystemSpec`].
 //! * [`generate`] — seeded random workloads, including the paper's
 //!   200-connection Section VII experiment.
+//! * [`churn`] — Poisson-arrival connection open/close/use-case-switch
+//!   traces for the online reconfiguration engine.
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod app;
+pub mod churn;
 pub mod config;
 pub mod generate;
 pub mod ids;
@@ -39,6 +42,7 @@ pub mod topology;
 pub mod traffic;
 
 pub use app::{Application, Connection, SystemSpec, SystemSpecBuilder};
+pub use churn::{churn_trace, ChurnEvent, ChurnOp, ChurnParams, ChurnTrace};
 pub use config::NocConfig;
 pub use generate::{
     paper_workload, random_workload, try_random_workload, WorkloadError, WorkloadParams,

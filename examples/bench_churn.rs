@@ -1,0 +1,199 @@
+//! Online-reconfiguration throughput trajectory: drives the
+//! [`ChurnEngine`] with Poisson open/close/use-case-switch traces and
+//! writes `BENCH_CHURN.json`, the churn perf record future PRs track.
+//!
+//! Per workload the harness measures:
+//!
+//! * **churn** — steady-state setup+teardown throughput of the engine
+//!   (warm route cache, recycled grant buffers), in ops/sec and ns/op;
+//! * **full re-allocation** — the counterfactual cost of servicing one
+//!   reconfiguration event by re-deriving the surviving set from
+//!   scratch with the batch allocator (warm route cache), the way the
+//!   pre-online flow did;
+//! * **speedup** — full-re-allocation-per-event over churn-per-op.
+//!
+//! The committed gate (asserted here, smoke-run in CI) is the tentpole
+//! target on the 8×8 mesh / 64-slot platform: **≥1M setup+teardown
+//! ops/sec sustained and ≥10× over per-event full re-allocation**.
+//!
+//! Run with `cargo run --release --example bench_churn`.
+
+use aelite_alloc::{Allocation, Allocator, RouteCache};
+use aelite_online::ChurnEngine;
+use aelite_spec::app::SystemSpec;
+use aelite_spec::churn::{churn_trace, ChurnParams};
+use aelite_spec::generate::{paper_workload, scaled_workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Events per trace: enough to cycle each pool many times; the first
+/// quarter is an untimed ramp to steady-state occupancy.
+const EVENTS: u32 = 100_000;
+const WARMUP_EVENTS: usize = (EVENTS / 4) as usize;
+
+struct Row {
+    name: &'static str,
+    platform: &'static str,
+    connections: usize,
+    ops: u64,
+    ops_per_sec: f64,
+    ns_per_op: f64,
+    admission_rate: f64,
+    switches: u64,
+    full_realloc_ms: f64,
+    speedup: f64,
+}
+
+fn measure(name: &'static str, platform: &'static str, spec: &SystemSpec, seed: u64) -> Row {
+    let trace = churn_trace(spec, &ChurnParams::steady(EVENTS), seed);
+    let mut engine = ChurnEngine::new(spec);
+    let mut alloc = Allocation::empty_for(spec);
+
+    // Untimed ramp: reach steady-state occupancy, warm the route cache
+    // and fill the recycled-grant pool.
+    for e in &trace.events[..WARMUP_EVENTS] {
+        engine.apply(spec, &mut alloc, &e.op);
+    }
+
+    // The timed steady state.
+    let before = *engine.stats();
+    let t0 = Instant::now();
+    for e in &trace.events[WARMUP_EVENTS..] {
+        engine.apply(spec, &mut alloc, &e.op);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = *engine.stats();
+    let ops = stats.ops() - before.ops();
+    let setups = stats.setups - before.setups;
+    let rejected = stats.rejected_setups - before.rejected_setups;
+    let ops_per_sec = ops as f64 / elapsed;
+    let ns_per_op = elapsed * 1e9 / ops as f64;
+
+    // The counterfactual: one reconfiguration event serviced by a full
+    // batch re-allocation of the surviving set (warm route cache, as
+    // favourable as the old flow gets).
+    let surviving: Vec<_> = alloc.grants().map(|g| g.conn).collect();
+    let view = spec.restricted_to_connections(&surviving);
+    let allocator = Allocator::new();
+    let mut routes = RouteCache::new(spec.topology(), allocator.max_paths);
+    let _ = allocator
+        .allocate_with_cache(&view, &mut routes)
+        .expect("surviving set re-allocates");
+    let reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(
+            allocator
+                .allocate_with_cache(&view, &mut routes)
+                .expect("surviving set re-allocates"),
+        );
+    }
+    let full_realloc_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+    let speedup = full_realloc_ms * 1e6 / ns_per_op;
+
+    let row = Row {
+        name,
+        platform,
+        connections: spec.connections().len(),
+        ops,
+        ops_per_sec,
+        ns_per_op,
+        admission_rate: setups as f64 / (setups + rejected).max(1) as f64,
+        switches: stats.switches - before.switches,
+        full_realloc_ms,
+        speedup,
+    };
+    println!(
+        "{name:>13}: {:7.2} Mops/s | {ns_per_op:6.0} ns/op | admission {:5.1}% | \
+         full realloc {full_realloc_ms:8.3} ms/event ({speedup:6.0}x slower)",
+        ops_per_sec / 1e6,
+        100.0 * row.admission_rate,
+    );
+    row
+}
+
+fn main() {
+    println!(
+        "online churn throughput (steady state; {EVENTS} events/trace, first quarter untimed)"
+    );
+    let rows = [
+        measure(
+            "paper_200",
+            "4x3 mesh, 4 NIs/router, 64-slot tables (Section VII)",
+            &paper_workload(42),
+            42,
+        ),
+        measure(
+            "mesh8x8_1000",
+            "8x8 mesh, 4 NIs/router, 64-slot tables, synthetic",
+            &scaled_workload(8, 8, 4, 1000, 1),
+            1,
+        ),
+        measure(
+            "mesh8x8_2000",
+            "8x8 mesh, 4 NIs/router, 64-slot tables, synthetic",
+            &scaled_workload(8, 8, 4, 2000, 1),
+            2,
+        ),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"aelite-bench-churn/1\",\n");
+    json.push_str("  \"generated_by\": \"examples/bench_churn.rs\",\n");
+    json.push_str(
+        "  \"note\": \"steady-state online reconfiguration through aelite_online::ChurnEngine \
+         under a Poisson open/close/use-case-switch trace (70% target occupancy); ops = \
+         individual connection setups+teardowns; full_realloc = batch re-allocation of the \
+         surviving set with a warm RouteCache, the per-event cost of the pre-online flow; \
+         speedup = full_realloc_per_event / churn_per_op\",\n",
+    );
+    json.push_str(
+        "  \"gate\": \"mesh8x8_1000: ops_per_sec >= 1e6 and speedup_vs_full_realloc >= 10\",\n",
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", r.name).unwrap();
+        writeln!(json, "      \"platform\": \"{}\",", r.platform).unwrap();
+        writeln!(json, "      \"connections\": {},", r.connections).unwrap();
+        writeln!(json, "      \"timed_ops\": {},", r.ops).unwrap();
+        writeln!(json, "      \"ops_per_sec\": {:.0},", r.ops_per_sec).unwrap();
+        writeln!(json, "      \"ns_per_op\": {:.1},", r.ns_per_op).unwrap();
+        writeln!(json, "      \"admission_rate\": {:.4},", r.admission_rate).unwrap();
+        writeln!(json, "      \"use_case_switches\": {},", r.switches).unwrap();
+        writeln!(
+            json,
+            "      \"full_realloc_ms_per_event\": {:.3},",
+            r.full_realloc_ms
+        )
+        .unwrap();
+        writeln!(json, "      \"speedup_vs_full_realloc\": {:.1}", r.speedup).unwrap();
+        write!(
+            json,
+            "    }}{}",
+            if i + 1 < rows.len() { ",\n" } else { "\n" }
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_CHURN.json", &json).expect("write BENCH_CHURN.json");
+    println!("\nwrote BENCH_CHURN.json");
+
+    // The tentpole gate: sustained >= 1M setup+teardown ops/sec on the
+    // 8x8/64-slot platform and >= 10x over per-event full re-allocation.
+    // Headroom at the time of recording: several Mops/s and a three-
+    // digit speedup, so a CI-runner wobble does not trip the gate.
+    let gate = rows.iter().find(|r| r.name == "mesh8x8_1000").unwrap();
+    assert!(
+        gate.ops_per_sec >= 1.0e6,
+        "mesh8x8_1000 churn regressed below 1M ops/sec: {:.0}",
+        gate.ops_per_sec
+    );
+    assert!(
+        gate.speedup >= 10.0,
+        "mesh8x8_1000 churn speedup vs full re-allocation regressed below 10x: {:.1}x",
+        gate.speedup
+    );
+}

@@ -23,7 +23,14 @@
 //! worst-case per-flit latency of every connection stays within the
 //! analytical bound the report advertises — simulation-backed evidence
 //! for the front, cheap enough for CI.
+//!
+//! `--churn` drives every Pareto-front point through the online
+//! reconfiguration engine (`aelite_online::ChurnEngine`) under a seeded
+//! Poisson open/close/use-case-switch trace and reports each point's
+//! admission outcome and sustained churn rate (setup+teardown ops/sec)
+//! alongside its area and throughput.
 
+use aelite_dse::churn::{churn_front, churn_table_header, CHURN_EVENTS_PER_POINT};
 use aelite_dse::engine::run_sweep;
 use aelite_dse::grid::DseGrid;
 use aelite_dse::report::check_report_text;
@@ -37,12 +44,14 @@ fn main() {
     let mut out = String::from("DSE_REPORT.json");
     let mut check: Option<String> = None;
     let mut validate = false;
+    let mut churn = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--reduced" => grid = DseGrid::reduced(),
             "--validate" => validate = true,
+            "--churn" => churn = true,
             "--threads" => {
                 i += 1;
                 threads = args
@@ -128,6 +137,31 @@ fn main() {
         println!(
             "validated in {:.2} s: every measured worst case within its analytical bound",
             t0.elapsed().as_secs_f64()
+        );
+    }
+
+    // The churn scenario: sustainable online-reconfiguration rate of
+    // every front point, under a Poisson open/close/use-case-switch
+    // trace replayed through the ChurnEngine.
+    if churn {
+        println!(
+            "\nchurning {} Pareto point(s), {CHURN_EVENTS_PER_POINT} events each",
+            report.pareto.len()
+        );
+        let t0 = Instant::now();
+        let rows = churn_front(&report, CHURN_EVENTS_PER_POINT);
+        println!("{}", churn_table_header());
+        for row in &rows {
+            println!("{row}");
+        }
+        let worst = rows
+            .iter()
+            .map(|r| r.admission_rate)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "churned in {:.2} s: worst-case admission rate {:.1}%",
+            t0.elapsed().as_secs_f64(),
+            100.0 * worst
         );
     }
 }

@@ -20,6 +20,7 @@ pub use aelite_core as core;
 pub use aelite_dataflow as dataflow;
 pub use aelite_dse as dse;
 pub use aelite_noc as noc;
+pub use aelite_online as online;
 pub use aelite_sim as sim;
 pub use aelite_spec as spec;
 pub use aelite_synth as synth;
