@@ -414,6 +414,20 @@ impl AllocScratch {
     }
 }
 
+/// Evidence that [`Allocator::begin_round`] validated a
+/// (spec, allocation, route cache) triple for a batched admission round.
+///
+/// Holds the platform snapshot the round was opened under so debug
+/// builds can catch a caller that swaps the allocation mid-round; it
+/// carries no resources and rounds need no explicit close.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionRound {
+    table_size: u32,
+    /// Grant-storage bound at round start: every id of the round's spec
+    /// fits below it, so per-request growth checks can be skipped.
+    conn_bound: usize,
+}
+
 /// Configuration of the allocation heuristic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Allocator {
@@ -572,6 +586,10 @@ impl Allocator {
     /// undisturbed-service model); on failure the allocation is exactly
     /// as it was.
     ///
+    /// Equivalent to [`begin_round`](Self::begin_round) followed by one
+    /// [`admit_in_round`](Self::admit_in_round) — callers admitting a
+    /// whole burst hoist the round setup instead of paying it per call.
+    ///
     /// # Errors
     ///
     /// Returns the last [`AllocError`] if no phase salt finds a grant.
@@ -588,6 +606,39 @@ impl Allocator {
         routes: &mut RouteCache,
         scratch: &mut AllocScratch,
     ) -> Result<(), AllocError> {
+        let round = self.begin_round(spec, alloc, routes);
+        self.admit_in_round(&round, spec, alloc, conn, routes, scratch)
+    }
+
+    /// Opens a batched admission round: validates once that `spec`,
+    /// `alloc` and `routes` describe the same platform and grows the
+    /// per-connection grant storage to cover `spec`'s ids, returning a
+    /// token that [`admit_in_round`](Self::admit_in_round) requires.
+    ///
+    /// The point is amortisation: the validation — in particular the
+    /// grant-storage capacity check, which scans `spec`'s connection list
+    /// — is O(connections), so paying it per *request* (as
+    /// [`admit`](Self::admit) does) dominates the cost of admitting one
+    /// connection on large pools. A burst of independent requests pays it
+    /// once here and then runs each admission O(Δ).
+    ///
+    /// The token is only evidence that the checks ran; callers must keep
+    /// using the same `spec`/`alloc`/`routes` triple for every
+    /// [`admit_in_round`](Self::admit_in_round) of the round (the round
+    /// re-checks this in debug builds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alloc` or `routes` were built for a different table
+    /// size / per-hop shift / `max_paths` bound than `spec` and this
+    /// allocator use.
+    #[must_use]
+    pub fn begin_round(
+        &self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        routes: &RouteCache,
+    ) -> AdmissionRound {
         alloc.assert_same_platform(spec);
         assert_eq!(
             routes.max_paths(),
@@ -595,6 +646,42 @@ impl Allocator {
             "route cache was built for a different max_paths bound"
         );
         alloc.grow_for(spec);
+        AdmissionRound {
+            table_size: alloc.table_size,
+            conn_bound: alloc.grants.len(),
+        }
+    }
+
+    /// [`admit`](Self::admit) with the per-round validation already paid
+    /// by [`begin_round`](Self::begin_round): the per-request work is
+    /// exactly the salt-retried admission kernel, O(Δ) in the candidate
+    /// paths' slot words.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`AllocError`] if no phase salt finds a grant;
+    /// `alloc` is unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` already holds a grant.
+    pub fn admit_in_round(
+        &self,
+        round: &AdmissionRound,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        conn: ConnId,
+        routes: &mut RouteCache,
+        scratch: &mut AllocScratch,
+    ) -> Result<(), AllocError> {
+        debug_assert_eq!(
+            round.table_size, alloc.table_size,
+            "round begun for a different allocation"
+        );
+        debug_assert!(
+            conn.index() < round.conn_bound && alloc.grants.len() >= round.conn_bound,
+            "round begun for a different spec/allocation pair"
+        );
         assert!(
             alloc.grant(conn).is_none(),
             "{conn} already holds a grant; release it before re-allocating"

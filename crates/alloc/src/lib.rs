@@ -40,7 +40,8 @@ pub mod table;
 pub mod validate;
 
 pub use allocate::{
-    admission_order, allocate, AllocError, AllocScratch, Allocation, Allocator, Grant,
+    admission_order, allocate, estimate_slots, AdmissionRound, AllocError, AllocScratch,
+    Allocation, Allocator, Grant,
 };
 pub use mask::SlotMask;
 pub use path::{dimension_ordered, route_candidates, Path, PathError};

@@ -130,7 +130,9 @@ pub fn churn_point(point: &DesignPoint, events: u32) -> ChurnPoint {
     let stats = *engine.stats();
 
     let setups_admitted = stats.setups - before.setups;
-    let setups_rejected = stats.rejected_setups - before.rejected_setups;
+    let setups_rejected = stats.refused_opens + stats.refused_switches
+        - before.refused_opens
+        - before.refused_switches;
     let done = stats.ops() - before.ops();
     ChurnPoint {
         id: point.id(),

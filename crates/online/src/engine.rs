@@ -1,13 +1,16 @@
 //! The churn engine: streaming connection admission over a live
-//! allocation.
+//! allocation, one unified [`submit`](ChurnEngine::submit) entry point
+//! and a batched admission round for independent request bursts.
 
-use aelite_alloc::{AllocError, AllocScratch, Allocation, Allocator, RouteCache};
+use crate::api::{AdmissionError, AdmissionRequest, AdmissionResponse, RefusalCause};
+use aelite_alloc::{AdmissionRound, AllocScratch, Allocation, Allocator, RouteCache};
 use aelite_spec::churn::ChurnOp;
 use aelite_spec::ids::ConnId;
 use aelite_spec::SystemSpec;
-use core::fmt;
 
-/// Counters of the work a [`ChurnEngine`] has performed.
+/// Counters of the work a [`ChurnEngine`] has performed, broken down by
+/// request kind so serving layers report refusal and rollback rates
+/// without re-deriving them from traces.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChurnStats {
     /// Individual connection setups that succeeded (including those
@@ -18,10 +21,16 @@ pub struct ChurnStats {
     pub teardowns: u64,
     /// Use-case switches applied end to end.
     pub switches: u64,
-    /// Setup requests the platform could not admit.
-    pub rejected_setups: u64,
+    /// Single open requests refused (platform could not admit, or the
+    /// connection already held a grant).
+    pub refused_opens: u64,
+    /// Single close requests refused (the connection held no grant).
+    pub refused_closes: u64,
     /// Use-case switches that failed and were rolled back.
-    pub rejected_switches: u64,
+    pub refused_switches: u64,
+    /// Open-set admissions that had succeeded inside switches and were
+    /// undone by rollbacks.
+    pub rolled_back_opens: u64,
 }
 
 impl ChurnStats {
@@ -31,36 +40,13 @@ impl ChurnStats {
     pub fn ops(&self) -> u64 {
         self.setups + self.teardowns
     }
-}
 
-/// A use-case switch that could not be completed.
-///
-/// The engine rolled back every connection it had opened as part of the
-/// switch; the close set remains closed (its applications were leaving
-/// the use case regardless). Grants of connections outside the delta
-/// were never touched.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SwitchError {
-    /// The connection whose admission failed.
-    pub failed: ConnId,
-    /// Why it failed.
-    pub error: AllocError,
-    /// How many connections of the open set had already been admitted
-    /// and were rolled back.
-    pub rolled_back: u32,
-}
-
-impl fmt::Display for SwitchError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "use-case switch failed at {} ({}); {} admission(s) rolled back",
-            self.failed, self.error, self.rolled_back
-        )
+    /// Total refused requests of any kind.
+    #[must_use]
+    pub fn refusals(&self) -> u64 {
+        self.refused_opens + self.refused_closes + self.refused_switches
     }
 }
-
-impl std::error::Error for SwitchError {}
 
 /// A high-throughput online reconfiguration engine for one platform.
 ///
@@ -70,6 +56,13 @@ impl std::error::Error for SwitchError {}
 /// engine's lifetime) and an [`AllocScratch`] whose buffers — including
 /// recycled grants from earlier teardowns — make the steady-state
 /// open/close loop allocation-free.
+///
+/// Every request is one [`AdmissionRequest`] serviced by
+/// [`submit`](Self::submit); [`open`](Self::open), [`close`](Self::close)
+/// and [`switch`](Self::switch) are thin wrappers over the same path, and
+/// [`submit_batch`](Self::submit_batch) applies a burst of independent
+/// requests as one batched admission round, amortising the per-request
+/// validation over the burst.
 ///
 /// All specs passed to an engine must describe the same platform
 /// (topology and NoC config) it was created for; restricted use-case
@@ -86,6 +79,8 @@ pub struct ChurnEngine {
     order: Vec<ConnId>,
     /// Reusable rollback journal for use-case switches.
     opened: Vec<ConnId>,
+    /// Reusable canonical-order buffer for batched rounds.
+    batch_order: Vec<usize>,
     stats: ChurnStats,
 }
 
@@ -105,6 +100,7 @@ impl ChurnEngine {
             scratch: AllocScratch::new(),
             order: Vec::new(),
             opened: Vec::new(),
+            batch_order: Vec::new(),
             stats: ChurnStats::default(),
         }
     }
@@ -121,78 +117,177 @@ impl ChurnEngine {
         &self.stats
     }
 
-    /// Sets up `conn`: routes it and reserves TDM slots in `alloc`,
-    /// leaving every existing grant untouched. O(Δ): bitset kernels over
-    /// the candidate paths' slot words, no allocation in steady state.
+    /// Services one admission request: the unified entry point every
+    /// other operation delegates to.
+    ///
+    /// Requests are total — an open of an already-open connection or a
+    /// close of a closed one is a structured refusal
+    /// ([`RefusalCause::AlreadyOpen`] / [`RefusalCause::UnknownConn`]),
+    /// never a panic — and a refusal leaves the allocation exactly as it
+    /// was (a refused switch additionally leaves its close set closed;
+    /// see [`AdmissionError`]). Grants of connections outside the request
+    /// are never touched, whatever the outcome.
     ///
     /// # Errors
     ///
-    /// Returns the [`AllocError`] if no candidate path can satisfy the
-    /// connection's contract; `alloc` is unchanged in that case.
+    /// Returns the [`AdmissionError`] naming the connection the request
+    /// was refused on, its cause, and any rollback performed.
     ///
     /// # Panics
     ///
-    /// Panics if `conn` already holds a grant, or if `spec` belongs to a
-    /// different platform than the engine/allocation.
-    pub fn open(
+    /// Panics only on platform mismatch: `spec`/`alloc` built for a
+    /// different table size, per-hop shift or `max_paths` bound than the
+    /// engine.
+    pub fn submit(
         &mut self,
         spec: &SystemSpec,
         alloc: &mut Allocation,
+        request: AdmissionRequest,
+    ) -> Result<AdmissionResponse, AdmissionError> {
+        let round = self.allocator.begin_round(spec, alloc, &self.routes);
+        self.submit_in_round(&round, spec, alloc, &request)
+    }
+
+    /// Services a burst of **independent** requests (no connection named
+    /// by two of them) as one batched admission round, writing one
+    /// verdict per request into `verdicts` (cleared first, arrival
+    /// order).
+    ///
+    /// The burst is applied in the canonical order of
+    /// [`canonical_order`]: teardowns first, then switches, then single
+    /// opens hardest-first — byte-identical end state and verdicts to
+    /// serially [`submit`](Self::submit)ting the requests in that order
+    /// (property-tested in `tests/proptest_serve.rs`). What batching buys
+    /// is amortisation: the per-request validation and grant-storage
+    /// capacity check of [`Allocator::begin_round`] — O(connections) on
+    /// every serial submit — runs **once per burst**, and every request
+    /// then shares the round's warm [`RouteCache`] and recycled-grant
+    /// scratch. Per-request rollback is unchanged: one refused request
+    /// never poisons its batch.
+    ///
+    /// Requests whose connections overlap are still serviced safely (the
+    /// round is just a sequence of total requests), but the canonical
+    /// reorder then decides which of the conflicting requests sees the
+    /// connection first — only independent bursts are order-insensitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`submit`](Self::submit).
+    pub fn submit_batch(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        requests: &[AdmissionRequest],
+        verdicts: &mut Vec<Result<AdmissionResponse, AdmissionError>>,
+    ) {
+        verdicts.clear();
+        // Placeholder overwritten below: canonical_order is a permutation
+        // of the arrival indices, so every slot is assigned exactly once.
+        verdicts.resize(
+            requests.len(),
+            Err(AdmissionError {
+                conn: ConnId::new(0),
+                cause: RefusalCause::UnknownConn,
+                rolled_back: 0,
+            }),
+        );
+        let mut order = core::mem::take(&mut self.batch_order);
+        canonical_order(spec, requests, &mut order);
+        debug_assert_eq!(order.len(), requests.len());
+        let round = self.allocator.begin_round(spec, alloc, &self.routes);
+        for &i in &order {
+            verdicts[i] = self.submit_in_round(&round, spec, alloc, &requests[i]);
+        }
+        self.batch_order = order;
+    }
+
+    /// One request inside an already-validated round.
+    fn submit_in_round(
+        &mut self,
+        round: &AdmissionRound,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        request: &AdmissionRequest,
+    ) -> Result<AdmissionResponse, AdmissionError> {
+        match request {
+            AdmissionRequest::Open(c) => self
+                .open_in_round(round, spec, alloc, *c)
+                .map(|()| AdmissionResponse::Opened(*c)),
+            AdmissionRequest::Close(c) => self.close_one(alloc, *c),
+            AdmissionRequest::Switch { close, open } => {
+                self.switch_in_round(round, spec, alloc, close, open)
+            }
+        }
+    }
+
+    fn open_in_round(
+        &mut self,
+        round: &AdmissionRound,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
         conn: ConnId,
-    ) -> Result<(), AllocError> {
-        match self
-            .allocator
-            .admit(spec, alloc, conn, &mut self.routes, &mut self.scratch)
-        {
+    ) -> Result<(), AdmissionError> {
+        if alloc.grant(conn).is_some() {
+            self.stats.refused_opens += 1;
+            return Err(AdmissionError {
+                conn,
+                cause: RefusalCause::AlreadyOpen,
+                rolled_back: 0,
+            });
+        }
+        match self.allocator.admit_in_round(
+            round,
+            spec,
+            alloc,
+            conn,
+            &mut self.routes,
+            &mut self.scratch,
+        ) {
             Ok(()) => {
                 self.stats.setups += 1;
                 Ok(())
             }
             Err(e) => {
-                self.stats.rejected_setups += 1;
-                Err(e)
+                self.stats.refused_opens += 1;
+                Err(AdmissionError {
+                    conn,
+                    cause: e.into(),
+                    rolled_back: 0,
+                })
             }
         }
     }
 
-    /// Tears down `conn`, freeing exactly its own `slots × links` table
-    /// entries (word-level free-mask deltas, no table rescans) and
-    /// recycling the grant's buffers for a later setup. Returns `false`
-    /// if the connection held no grant — an idempotent no-op.
-    pub fn close(&mut self, alloc: &mut Allocation, conn: ConnId) -> bool {
+    fn close_one(
+        &mut self,
+        alloc: &mut Allocation,
+        conn: ConnId,
+    ) -> Result<AdmissionResponse, AdmissionError> {
         match alloc.take_grant(conn) {
             Some(grant) => {
                 self.scratch.recycle(grant);
                 self.stats.teardowns += 1;
-                true
+                Ok(AdmissionResponse::Closed(conn))
             }
-            None => false,
+            None => {
+                self.stats.refused_closes += 1;
+                Err(AdmissionError {
+                    conn,
+                    cause: RefusalCause::UnknownConn,
+                    rolled_back: 0,
+                })
+            }
         }
     }
 
-    /// Applies a use-case switch as one delta: tears down `close_set`,
-    /// then admits `open_set` hardest-first. Connections in neither set
-    /// keep their grants bit-for-bit — the undisturbed-service property
-    /// is structural, whether the switch succeeds or fails.
-    ///
-    /// # Errors
-    ///
-    /// If some connection of `open_set` cannot be admitted, every
-    /// connection this switch had already opened is closed again and a
-    /// [`SwitchError`] is returned; the close set remains closed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a connection of `open_set` already holds a grant (close
-    /// it via `close_set` first), or on platform mismatch as
-    /// [`open`](Self::open).
-    pub fn switch(
+    fn switch_in_round(
         &mut self,
+        round: &AdmissionRound,
         spec: &SystemSpec,
         alloc: &mut Allocation,
         close_set: &[ConnId],
         open_set: &[ConnId],
-    ) -> Result<(), SwitchError> {
+    ) -> Result<AdmissionResponse, AdmissionError> {
         let mut closed = 0u64;
         for &c in close_set {
             if let Some(grant) = alloc.take_grant(c) {
@@ -209,12 +304,23 @@ impl ChurnEngine {
         self.opened.clear();
         for i in 0..self.order.len() {
             let conn = self.order[i];
-            match self
-                .allocator
-                .admit(spec, alloc, conn, &mut self.routes, &mut self.scratch)
-            {
+            let outcome = if alloc.grant(conn).is_some() {
+                Err(RefusalCause::AlreadyOpen)
+            } else {
+                self.allocator
+                    .admit_in_round(
+                        round,
+                        spec,
+                        alloc,
+                        conn,
+                        &mut self.routes,
+                        &mut self.scratch,
+                    )
+                    .map_err(RefusalCause::from)
+            };
+            match outcome {
                 Ok(()) => self.opened.push(conn),
-                Err(error) => {
+                Err(cause) => {
                     let rolled_back = self.opened.len() as u32;
                     for j in 0..self.opened.len() {
                         let c = self.opened[j];
@@ -222,11 +328,11 @@ impl ChurnEngine {
                         self.scratch.recycle(grant);
                     }
                     self.stats.teardowns += closed;
-                    self.stats.rejected_setups += 1;
-                    self.stats.rejected_switches += 1;
-                    return Err(SwitchError {
-                        failed: conn,
-                        error,
+                    self.stats.refused_switches += 1;
+                    self.stats.rolled_back_opens += u64::from(rolled_back);
+                    return Err(AdmissionError {
+                        conn,
+                        cause,
                         rolled_back,
                     });
                 }
@@ -235,7 +341,74 @@ impl ChurnEngine {
         self.stats.teardowns += closed;
         self.stats.setups += self.opened.len() as u64;
         self.stats.switches += 1;
-        Ok(())
+        Ok(AdmissionResponse::Switched {
+            closed: closed as u32,
+            opened: self.opened.len() as u32,
+        })
+    }
+
+    /// Sets up `conn`: routes it and reserves TDM slots in `alloc`,
+    /// leaving every existing grant untouched. A thin wrapper over
+    /// [`submit`](Self::submit) with [`AdmissionRequest::Open`]. O(Δ):
+    /// bitset kernels over the candidate paths' slot words, no
+    /// allocation in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`AdmissionError`] if no candidate path can satisfy
+    /// the connection's contract or it already holds a grant; `alloc` is
+    /// unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`submit`](Self::submit).
+    pub fn open(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        conn: ConnId,
+    ) -> Result<(), AdmissionError> {
+        let round = self.allocator.begin_round(spec, alloc, &self.routes);
+        self.open_in_round(&round, spec, alloc, conn)
+    }
+
+    /// Tears down `conn`, freeing exactly its own `slots × links` table
+    /// entries (word-level free-mask deltas, no table rescans) and
+    /// recycling the grant's buffers for a later setup. A thin wrapper
+    /// over the [`AdmissionRequest::Close`] path of
+    /// [`submit`](Self::submit); returns `false` if the connection held
+    /// no grant (reported in [`ChurnStats::refused_closes`]).
+    pub fn close(&mut self, alloc: &mut Allocation, conn: ConnId) -> bool {
+        self.close_one(alloc, conn).is_ok()
+    }
+
+    /// Applies a use-case switch as one delta: tears down `close_set`,
+    /// then admits `open_set` hardest-first. A thin wrapper over the
+    /// [`AdmissionRequest::Switch`] path of [`submit`](Self::submit)
+    /// taking slices, so callers with long-lived sets avoid building a
+    /// request value. Connections in neither set keep their grants
+    /// bit-for-bit — the undisturbed-service property is structural,
+    /// whether the switch succeeds or fails.
+    ///
+    /// # Errors
+    ///
+    /// If some connection of `open_set` cannot be admitted, every
+    /// connection this switch had already opened is closed again and the
+    /// [`AdmissionError`] reports the refusal cause and rollback count;
+    /// the close set remains closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`submit`](Self::submit).
+    pub fn switch(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        close_set: &[ConnId],
+        open_set: &[ConnId],
+    ) -> Result<AdmissionResponse, AdmissionError> {
+        let round = self.allocator.begin_round(spec, alloc, &self.routes);
+        self.switch_in_round(&round, spec, alloc, close_set, open_set)
     }
 
     /// Applies one trace operation (see [`aelite_spec::churn`]),
@@ -252,6 +425,43 @@ impl ChurnEngine {
             ChurnOp::Switch { close, open } => self.switch(spec, alloc, close, open).is_ok(),
         }
     }
+}
+
+/// Writes into `out` (cleared first) the canonical application order of
+/// a request burst, as arrival indices into `requests`: closes first (in
+/// arrival order — teardowns only free capacity), then switches (arrival
+/// order — each is its own close-then-open delta), then single opens in
+/// the allocator's hardest-first admission order (most estimated slots,
+/// tightest deadline, then connection id, then arrival index).
+///
+/// [`ChurnEngine::submit_batch`] applies bursts in exactly this order;
+/// serially submitting the requests in this order reproduces the batch
+/// bit-for-bit, which is what makes batched results pinnable against a
+/// canonical serial application.
+///
+/// # Panics
+///
+/// Panics if an open request names a connection `spec` does not contain
+/// (the difficulty estimate needs its traffic contract).
+pub fn canonical_order(spec: &SystemSpec, requests: &[AdmissionRequest], out: &mut Vec<usize>) {
+    out.clear();
+    out.extend((0..requests.len()).filter(|&i| matches!(requests[i], AdmissionRequest::Close(_))));
+    out.extend(
+        (0..requests.len()).filter(|&i| matches!(requests[i], AdmissionRequest::Switch { .. })),
+    );
+    let opens_at = out.len();
+    out.extend((0..requests.len()).filter(|&i| matches!(requests[i], AdmissionRequest::Open(_))));
+    out[opens_at..].sort_by_cached_key(|&i| {
+        let AdmissionRequest::Open(c) = requests[i] else {
+            unreachable!("opens segment holds only opens")
+        };
+        (
+            core::cmp::Reverse(aelite_alloc::estimate_slots(spec, c)),
+            spec.connection(c).max_latency_ns,
+            c,
+            i,
+        )
+    });
 }
 
 #[cfg(test)]
@@ -276,8 +486,82 @@ mod tests {
             engine.open(&spec, &mut alloc, c.id).expect("re-admits");
         }
         assert_eq!(engine.stats().ops(), 40);
-        assert_eq!(engine.stats().rejected_setups, 0);
+        assert_eq!(engine.stats().refusals(), 0);
         validate_allocation(&spec, &alloc).expect("valid after churn");
+    }
+
+    #[test]
+    fn submit_answers_every_request_kind() {
+        let spec = paper_workload(42);
+        let mut alloc = allocate(&spec).unwrap();
+        let mut engine = ChurnEngine::new(&spec);
+        let c = spec.connections()[3].id;
+        assert_eq!(
+            engine.submit(&spec, &mut alloc, AdmissionRequest::Close(c)),
+            Ok(AdmissionResponse::Closed(c))
+        );
+        assert_eq!(
+            engine.submit(&spec, &mut alloc, AdmissionRequest::Open(c)),
+            Ok(AdmissionResponse::Opened(c))
+        );
+        let close: Vec<_> = spec.app_connections(AppId::new(0)).map(|c| c.id).collect();
+        let resp = engine
+            .submit(
+                &spec,
+                &mut alloc,
+                AdmissionRequest::Switch {
+                    close: close.clone(),
+                    open: Vec::new(),
+                },
+            )
+            .expect("pure-teardown switch succeeds");
+        assert_eq!(
+            resp,
+            AdmissionResponse::Switched {
+                closed: close.len() as u32,
+                opened: 0
+            }
+        );
+        assert_eq!(engine.stats().switches, 1);
+    }
+
+    #[test]
+    fn mismatched_requests_are_refused_not_panics() {
+        let spec = paper_workload(1);
+        let mut alloc = allocate(&spec).unwrap();
+        let mut engine = ChurnEngine::new(&spec);
+        let c = spec.connections()[5].id;
+
+        // Open of an open connection.
+        let err = engine
+            .submit(&spec, &mut alloc, AdmissionRequest::Open(c))
+            .expect_err("already open");
+        assert_eq!(err.cause, RefusalCause::AlreadyOpen);
+        assert_eq!(err.conn, c);
+        assert_eq!(err.rolled_back, 0);
+        assert!(err.to_string().contains("already holds a grant"));
+
+        // Close of a closed connection.
+        assert!(engine.close(&mut alloc, c));
+        let err = engine
+            .submit(&spec, &mut alloc, AdmissionRequest::Close(c))
+            .expect_err("already closed");
+        assert_eq!(err.cause, RefusalCause::UnknownConn);
+        assert_eq!(engine.stats().refused_opens, 1);
+        assert_eq!(engine.stats().refused_closes, 1);
+        // The allocation is untouched by refusals.
+        validate_allocation(
+            &spec.restricted_to_connections(
+                &spec
+                    .connections()
+                    .iter()
+                    .map(|c| c.id)
+                    .filter(|&id| alloc.grant(id).is_some())
+                    .collect::<Vec<_>>(),
+            ),
+            &alloc,
+        )
+        .expect("valid after refusals");
     }
 
     #[test]
@@ -289,6 +573,7 @@ mod tests {
         assert!(engine.close(&mut alloc, c));
         assert!(!engine.close(&mut alloc, c), "second close is a no-op");
         assert_eq!(engine.stats().teardowns, 1);
+        assert_eq!(engine.stats().refused_closes, 1);
     }
 
     #[test]
@@ -308,9 +593,16 @@ mod tests {
         let close: Vec<_> = spec.app_connections(AppId::new(2)).map(|c| c.id).collect();
         let open: Vec<_> = spec.app_connections(AppId::new(3)).map(|c| c.id).collect();
 
-        engine
+        let resp = engine
             .switch(&spec, &mut alloc, &close, &open)
             .expect("the paper workload's use cases co-exist");
+        assert_eq!(
+            resp,
+            AdmissionResponse::Switched {
+                closed: close.len() as u32,
+                opened: open.len() as u32
+            }
+        );
 
         for g in keep {
             assert_eq!(alloc.grant(g.conn).unwrap(), &g, "{} moved", g.conn);
@@ -350,10 +642,16 @@ mod tests {
             .switch(&spec, &mut alloc, &[], &[h1, h2])
             .expect_err("two 800 MB/s flows cannot share one link with a resident");
         assert_eq!(err.rolled_back, 1, "first admission succeeded, then undone");
+        assert!(
+            matches!(err.cause, RefusalCause::NoSlots { needed, free } if needed > free),
+            "expected a structured slot shortage, got {:?}",
+            err.cause
+        );
         assert!(alloc.grant(h1).is_none() && alloc.grant(h2).is_none());
         assert_eq!(alloc.grant(resident).unwrap(), &before, "resident moved");
-        assert_eq!(engine.stats().rejected_switches, 1);
-        assert!(!err.to_string().is_empty());
+        assert_eq!(engine.stats().refused_switches, 1);
+        assert_eq!(engine.stats().rolled_back_opens, 1);
+        assert!(err.to_string().contains("rolled back"), "{err}");
         validate_allocation(&uc1, &alloc).expect("rollback left a valid state");
     }
 
@@ -390,5 +688,100 @@ mod tests {
         let view = spec.restricted_to_connections(&surviving);
         validate_allocation(&view, &alloc).expect("valid after trace replay");
         assert!(engine.stats().ops() > 0);
+        // The generator's model assumes every open is admitted, so the
+        // only refused closes are echoes of refused opens.
+        assert!(engine.stats().refused_closes <= engine.stats().refused_opens);
+    }
+
+    #[test]
+    fn canonical_order_is_closes_switches_then_hardest_opens() {
+        let spec = paper_workload(42);
+        let ids: Vec<ConnId> = spec.connections().iter().map(|c| c.id).collect();
+        let requests = vec![
+            AdmissionRequest::Open(ids[0]),
+            AdmissionRequest::Close(ids[1]),
+            AdmissionRequest::Switch {
+                close: vec![ids[2]],
+                open: vec![ids[3]],
+            },
+            AdmissionRequest::Open(ids[4]),
+            AdmissionRequest::Close(ids[5]),
+        ];
+        let mut order = Vec::new();
+        canonical_order(&spec, &requests, &mut order);
+        // A permutation: closes (1, 4), the switch (2), then the opens.
+        assert_eq!(order.len(), requests.len());
+        assert_eq!(&order[..3], &[1, 4, 2]);
+        let mut opens = order[3..].to_vec();
+        opens.sort_unstable();
+        assert_eq!(opens, vec![0, 3]);
+        // Hardest first among the opens, ties broken by id then arrival.
+        let key = |i: usize| {
+            let AdmissionRequest::Open(c) = requests[i] else {
+                unreachable!()
+            };
+            (
+                core::cmp::Reverse(aelite_alloc::estimate_slots(&spec, c)),
+                spec.connection(c).max_latency_ns,
+                c,
+                i,
+            )
+        };
+        assert!(key(order[3]) <= key(order[4]));
+    }
+
+    #[test]
+    fn batched_burst_matches_serial_canonical_application() {
+        let spec = paper_workload(42);
+        // Both sides start from the same live allocation.
+        let alloc0 = allocate(&spec).unwrap();
+        let ids: Vec<ConnId> = spec.connections().iter().map(|c| c.id).collect();
+        // An independent burst: closes, re-opens of previously closed
+        // connections, one switch, and a mismatched request.
+        let mut engine_a = ChurnEngine::new(&spec);
+        let mut prep = allocate(&spec).unwrap();
+        let warm = |engine: &mut ChurnEngine, alloc: &mut Allocation| {
+            for &c in &ids[..10] {
+                assert!(engine.close(alloc, c));
+            }
+        };
+        warm(&mut engine_a, &mut prep);
+        let mut alloc_a = prep.clone();
+        let mut alloc_b = prep.clone();
+        drop(alloc0);
+        let mut engine_b = ChurnEngine::new(&spec);
+        warm(&mut engine_b, &mut allocate(&spec).unwrap());
+
+        let requests = vec![
+            AdmissionRequest::Open(ids[0]),
+            AdmissionRequest::Close(ids[20]),
+            AdmissionRequest::Open(ids[1]),
+            AdmissionRequest::Open(ids[21]), // already open -> refused
+            AdmissionRequest::Close(ids[22]),
+            AdmissionRequest::Open(ids[2]),
+        ];
+
+        // A: one batched round.
+        let mut verdicts_a = Vec::new();
+        engine_a.submit_batch(&spec, &mut alloc_a, &requests, &mut verdicts_a);
+
+        // B: serial submits in the canonical order.
+        let mut order = Vec::new();
+        canonical_order(&spec, &requests, &mut order);
+        let mut verdicts_b: Vec<Option<Result<AdmissionResponse, AdmissionError>>> =
+            vec![None; requests.len()];
+        for &i in &order {
+            verdicts_b[i] = Some(engine_b.submit(&spec, &mut alloc_b, requests[i].clone()));
+        }
+
+        for (i, v) in verdicts_a.iter().enumerate() {
+            assert_eq!(Some(*v), verdicts_b[i], "verdict {i} diverged");
+        }
+        for &c in &ids {
+            assert_eq!(alloc_a.grant(c), alloc_b.grant(c), "{c} diverged");
+        }
+        assert_eq!(engine_a.stats(), engine_b.stats(), "stats diverged");
+        // The refused open really was refused with a matchable cause.
+        assert_eq!(verdicts_a[3].unwrap_err().cause, RefusalCause::AlreadyOpen);
     }
 }

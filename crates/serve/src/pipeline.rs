@@ -1,0 +1,380 @@
+//! The admission pipeline: deterministic serial/batched replays of a
+//! request stream (for throughput comparison and proptest pinning) and a
+//! threaded producer/consumer executor with per-request latency
+//! percentiles.
+
+use crate::hist::LatencyHistogram;
+use crate::stream::{plan_bursts, TimedRequest};
+use aelite_alloc::Allocation;
+use aelite_online::{AdmissionRequest, ChurnEngine, ChurnStats};
+use aelite_spec::SystemSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::time::Instant;
+
+/// Outcome of one timed replay of a request stream.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayReport {
+    /// Requests serviced in the timed window.
+    pub requests: u64,
+    /// Batched rounds the window was applied in (== `requests` for the
+    /// serial replay).
+    pub bursts: u64,
+    /// Requests answered with an `AdmissionResponse`.
+    pub admitted: u64,
+    /// Requests answered with an `AdmissionError`.
+    pub refused: u64,
+    /// Individual setup + teardown operations performed.
+    pub ops: u64,
+    /// Wall-clock time of the timed window, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Successful operations per second (`ops / elapsed`).
+    pub ops_per_sec: f64,
+    /// Engine counter delta over the timed window.
+    pub stats: ChurnStats,
+}
+
+fn stats_delta(after: &ChurnStats, before: &ChurnStats) -> ChurnStats {
+    ChurnStats {
+        setups: after.setups - before.setups,
+        teardowns: after.teardowns - before.teardowns,
+        switches: after.switches - before.switches,
+        refused_opens: after.refused_opens - before.refused_opens,
+        refused_closes: after.refused_closes - before.refused_closes,
+        refused_switches: after.refused_switches - before.refused_switches,
+        rolled_back_opens: after.rolled_back_opens - before.rolled_back_opens,
+    }
+}
+
+/// Applies `stream[..warmup]` serially (untimed) to bring `engine` and
+/// `alloc` to steady state: occupancy near target, route cache warm,
+/// recycled-grant pool filled.
+pub fn warm_up(
+    spec: &SystemSpec,
+    engine: &mut ChurnEngine,
+    alloc: &mut Allocation,
+    stream: &[TimedRequest],
+    warmup: usize,
+) {
+    for r in &stream[..warmup] {
+        let _ = engine.submit(spec, alloc, r.request.clone());
+    }
+}
+
+/// Replays `stream` one request at a time through
+/// [`ChurnEngine::submit`] — the serial per-op baseline every batched
+/// number is compared against.
+#[must_use]
+pub fn replay_serial(
+    spec: &SystemSpec,
+    engine: &mut ChurnEngine,
+    alloc: &mut Allocation,
+    stream: &[TimedRequest],
+) -> ReplayReport {
+    let before = *engine.stats();
+    let mut admitted = 0u64;
+    let t0 = Instant::now();
+    for r in stream {
+        if engine.submit(spec, alloc, r.request.clone()).is_ok() {
+            admitted += 1;
+        }
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let stats = stats_delta(engine.stats(), &before);
+    ReplayReport {
+        requests: stream.len() as u64,
+        bursts: stream.len() as u64,
+        admitted,
+        refused: stream.len() as u64 - admitted,
+        ops: stats.ops(),
+        elapsed_ns,
+        ops_per_sec: stats.ops() as f64 / (elapsed_ns as f64 / 1e9).max(1e-12),
+        stats,
+    }
+}
+
+/// Replays `stream` through [`ChurnEngine::submit_batch`]: plans
+/// independent bursts (capped at `burst_cap`) and applies each as one
+/// batched admission round. Burst planning and request staging are
+/// inside the timed window — the reported throughput is end to end.
+///
+/// Deterministic: same stream, same cap, same warmed state → identical
+/// bursts, verdicts and end state (this is the single-thread mode the
+/// equivalence proptests pin against [`replay_serial`] in canonical
+/// order).
+///
+/// # Panics
+///
+/// Panics if `burst_cap` is zero.
+#[must_use]
+pub fn replay_batched(
+    spec: &SystemSpec,
+    engine: &mut ChurnEngine,
+    alloc: &mut Allocation,
+    stream: &[TimedRequest],
+    burst_cap: usize,
+) -> ReplayReport {
+    let before = *engine.stats();
+    let mut admitted = 0u64;
+    let mut reqs: Vec<AdmissionRequest> = Vec::with_capacity(burst_cap);
+    let mut verdicts = Vec::with_capacity(burst_cap);
+    let t0 = Instant::now();
+    let bursts = plan_bursts(stream, burst_cap);
+    for b in &bursts {
+        reqs.clear();
+        reqs.extend(stream[b.clone()].iter().map(|r| r.request.clone()));
+        engine.submit_batch(spec, alloc, &reqs, &mut verdicts);
+        admitted += verdicts.iter().filter(|v| v.is_ok()).count() as u64;
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let stats = stats_delta(engine.stats(), &before);
+    ReplayReport {
+        requests: stream.len() as u64,
+        bursts: bursts.len() as u64,
+        admitted,
+        refused: stream.len() as u64 - admitted,
+        ops: stats.ops(),
+        elapsed_ns,
+        ops_per_sec: stats.ops() as f64 / (elapsed_ns as f64 / 1e9).max(1e-12),
+        stats,
+    }
+}
+
+/// Tuning knobs of the threaded pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Producer threads feeding the admission queue. Each repeatedly
+    /// claims the next un-served client off an atomic cursor and enqueues
+    /// that client's requests in order.
+    pub producers: usize,
+    /// Maximum requests per batched admission round.
+    pub burst_cap: usize,
+    /// Bounded queue depth between producers and the admission loop —
+    /// the backpressure window; enqueue blocks when it is full, and that
+    /// wait is part of the measured request latency.
+    pub queue_depth: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            producers: 2,
+            burst_cap: 64,
+            queue_depth: 8192,
+        }
+    }
+}
+
+/// Outcome of a threaded pipeline run: the replay numbers plus the
+/// end-to-end request latency distribution.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Throughput and admission accounting of the run.
+    pub replay: ReplayReport,
+    /// End-to-end latency (enqueue → burst completion) of every request,
+    /// in nanoseconds.
+    pub latency: LatencyHistogram,
+}
+
+/// Runs the threaded admission pipeline: `cfg.producers` threads enqueue
+/// the per-client request streams (claimed whole off an atomic cursor,
+/// preserving each client's order) into a bounded channel, and this
+/// thread's admission loop drains it into independent bursts — flushed
+/// on client repeat or at `cfg.burst_cap` — applying each as one batched
+/// admission round.
+///
+/// Per-request latency is measured from enqueue (after any backpressure
+/// wait) to completion of the request's burst, and recorded in the
+/// returned histogram. Burst composition depends on thread interleaving,
+/// so throughput and latency are measurements, not reproducible
+/// artifacts — use [`replay_batched`] for the deterministic mode.
+///
+/// # Panics
+///
+/// Panics if `cfg.producers` is zero, `cfg.burst_cap` is zero, or a
+/// producer thread panics (poisoned channel).
+#[must_use]
+pub fn serve_pipeline(
+    spec: &SystemSpec,
+    engine: &mut ChurnEngine,
+    alloc: &mut Allocation,
+    streams: &[Vec<TimedRequest>],
+    cfg: &PipelineConfig,
+) -> PipelineReport {
+    assert!(cfg.producers > 0, "need at least one producer");
+    assert!(cfg.burst_cap > 0, "burst capacity must be positive");
+    let clients = streams
+        .iter()
+        .flat_map(|s| s.iter().map(|r| r.client))
+        .max()
+        .map_or(0, |c| c as usize + 1);
+
+    let before = *engine.stats();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = sync_channel::<(Instant, u32, AdmissionRequest)>(cfg.queue_depth);
+
+    let mut latency = LatencyHistogram::new();
+    let mut admitted = 0u64;
+    let mut requests = 0u64;
+    let mut bursts = 0u64;
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..cfg.producers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            s.spawn(move || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(stream) = streams.get(k) else { break };
+                for r in stream {
+                    tx.send((Instant::now(), r.client, r.request.clone()))
+                        .expect("admission loop outlives producers");
+                }
+            });
+        }
+        drop(tx);
+
+        // The admission loop. Epoch stamps track burst membership in
+        // O(1) without clearing between bursts.
+        let mut stamp = vec![u64::MAX; clients];
+        let mut burst_id = 0u64;
+        let mut enq: Vec<Instant> = Vec::with_capacity(cfg.burst_cap);
+        let mut reqs: Vec<AdmissionRequest> = Vec::with_capacity(cfg.burst_cap);
+        let mut verdicts = Vec::with_capacity(cfg.burst_cap);
+        let mut flush = |engine: &mut ChurnEngine,
+                         alloc: &mut Allocation,
+                         reqs: &mut Vec<AdmissionRequest>,
+                         enq: &mut Vec<Instant>| {
+            if reqs.is_empty() {
+                return;
+            }
+            engine.submit_batch(spec, alloc, reqs, &mut verdicts);
+            admitted += verdicts.iter().filter(|v| v.is_ok()).count() as u64;
+            let done = Instant::now();
+            for &t in enq.iter() {
+                latency.record(done.duration_since(t).as_nanos() as u64);
+            }
+            bursts += 1;
+            reqs.clear();
+            enq.clear();
+        };
+        while let Ok((t, client, request)) = rx.recv() {
+            if reqs.len() >= cfg.burst_cap || stamp[client as usize] == burst_id {
+                flush(engine, alloc, &mut reqs, &mut enq);
+                burst_id += 1;
+            }
+            stamp[client as usize] = burst_id;
+            enq.push(t);
+            reqs.push(request);
+            requests += 1;
+        }
+        flush(engine, alloc, &mut reqs, &mut enq);
+    });
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+
+    let stats = stats_delta(engine.stats(), &before);
+    PipelineReport {
+        replay: ReplayReport {
+            requests,
+            bursts,
+            admitted,
+            refused: requests - admitted,
+            ops: stats.ops(),
+            elapsed_ns,
+            ops_per_sec: stats.ops() as f64 / (elapsed_ns as f64 / 1e9).max(1e-12),
+            stats,
+        },
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::merge_population;
+    use aelite_spec::churn::{client_population, ChurnParams};
+    use aelite_spec::generate::paper_workload;
+
+    fn setup(
+        clients: u32,
+        events: u32,
+        seed: u64,
+    ) -> (SystemSpec, ChurnEngine, Allocation, Vec<TimedRequest>) {
+        let spec = paper_workload(42);
+        let stream = merge_population(client_population(
+            &spec,
+            clients,
+            &ChurnParams::steady(events),
+            seed,
+        ));
+        let engine = ChurnEngine::new(&spec);
+        let alloc = Allocation::empty_for(&spec);
+        (spec, engine, alloc, stream)
+    }
+
+    #[test]
+    fn batched_replay_matches_burstwise_canonical_serial() {
+        use crate::stream::plan_bursts;
+        use aelite_online::canonical_order;
+
+        let (spec, mut e1, mut a1, stream) = setup(8, 250, 3);
+        let warmup = stream.len() / 4;
+        warm_up(&spec, &mut e1, &mut a1, &stream, warmup);
+        // Reference: each planned burst submitted serially in canonical
+        // order — the order the batch applies internally.
+        let timed = &stream[warmup..];
+        let before1 = *e1.stats();
+        let mut admitted = 0u64;
+        let mut order = Vec::new();
+        for b in plan_bursts(timed, 64) {
+            let reqs: Vec<_> = timed[b].iter().map(|r| r.request.clone()).collect();
+            canonical_order(&spec, &reqs, &mut order);
+            for &i in &order {
+                if e1.submit(&spec, &mut a1, reqs[i].clone()).is_ok() {
+                    admitted += 1;
+                }
+            }
+        }
+
+        let (_, mut e2, mut a2, _) = setup(8, 250, 3);
+        warm_up(&spec, &mut e2, &mut a2, &stream, warmup);
+        let batched = replay_batched(&spec, &mut e2, &mut a2, timed, 64);
+
+        // Identical outcomes, fewer rounds than requests.
+        assert_eq!(batched.requests, timed.len() as u64);
+        assert_eq!(batched.admitted, admitted);
+        assert_eq!(batched.stats, stats_delta(e1.stats(), &before1));
+        assert!(batched.bursts < batched.requests);
+        for c in spec.connections() {
+            assert_eq!(a1.grant(c.id), a2.grant(c.id), "{} diverged", c.id);
+        }
+    }
+
+    #[test]
+    fn pipeline_services_every_request_and_measures_latency() {
+        let (spec, mut engine, mut alloc, stream) = setup(10, 100, 9);
+        let warmup = stream.len() / 4;
+        warm_up(&spec, &mut engine, &mut alloc, &stream, warmup);
+        // Split the remainder per client, preserving order.
+        let mut streams: Vec<Vec<TimedRequest>> = (0..10).map(|_| Vec::new()).collect();
+        for r in &stream[warmup..] {
+            streams[r.client as usize].push(r.clone());
+        }
+        let report = serve_pipeline(
+            &spec,
+            &mut engine,
+            &mut alloc,
+            &streams,
+            &PipelineConfig::default(),
+        );
+        assert_eq!(report.replay.requests, (stream.len() - warmup) as u64);
+        assert_eq!(report.latency.count(), report.replay.requests);
+        assert!(report.replay.bursts > 0);
+        assert!(report.replay.ops > 0);
+        let p50 = report.latency.percentile(50.0);
+        let p99 = report.latency.percentile(99.0);
+        let p999 = report.latency.percentile(99.9);
+        assert!(p50 > 0 && p50 <= p99 && p99 <= p999);
+        assert!(p999 <= report.latency.max());
+    }
+}

@@ -170,6 +170,79 @@ impl ChurnTrace {
     }
 }
 
+/// One simulated client's private request stream: a churn trace drawn
+/// over the client's own disjoint slice of the platform's connection
+/// pool (see [`client_population`]).
+#[derive(Debug, Clone)]
+pub struct ClientTrace {
+    /// The client's index in the population, in `0..clients`.
+    pub client: u32,
+    /// The restricted view of the system this client's trace was drawn
+    /// over — its connection ids are the client's pool, unchanged from
+    /// the parent spec.
+    pub view: SystemSpec,
+    /// The client's request stream (stateful-consistent within the
+    /// client's pool, starting from all-closed).
+    pub trace: ChurnTrace,
+}
+
+/// Draws a population of `clients` independent request streams over
+/// disjoint connection pools of `spec` — the workload of a serving
+/// layer, where many clients concurrently churn their own connections.
+///
+/// The pool is split round-robin (client `k` owns the connections at
+/// positions `k, k + clients, …` of `spec.connections()`), each client's
+/// trace is drawn by [`churn_trace`] over the
+/// [restricted view](SystemSpec::restricted_to_connections) of its pool
+/// with a per-client seed derived from `seed`, and `params` applies per
+/// client (`params.events` events *each*). Because restriction preserves
+/// connection ids and the pools are disjoint, any interleaving of the
+/// streams that preserves each client's own order is stateful-consistent
+/// over the whole platform — which is what lets a serving layer batch
+/// concurrent requests from distinct clients without cross-request
+/// conflicts.
+///
+/// Deterministic for a given `(spec, clients, params, seed)`.
+///
+/// # Panics
+///
+/// Panics if `clients` is zero or exceeds the number of connections
+/// (every client needs a non-empty pool), or on any [`churn_trace`]
+/// parameter violation.
+#[must_use]
+pub fn client_population(
+    spec: &SystemSpec,
+    clients: u32,
+    params: &ChurnParams,
+    seed: u64,
+) -> Vec<ClientTrace> {
+    let conns = spec.connections();
+    assert!(clients > 0, "need at least one client");
+    assert!(
+        (clients as usize) <= conns.len(),
+        "{clients} clients cannot share {} connections one-per-client",
+        conns.len()
+    );
+    (0..clients)
+        .map(|k| {
+            let pool: Vec<ConnId> = conns
+                .iter()
+                .skip(k as usize)
+                .step_by(clients as usize)
+                .map(|c| c.id)
+                .collect();
+            let view = spec.restricted_to_connections(&pool);
+            let client_seed = seed ^ (u64::from(k)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let trace = churn_trace(&view, params, client_seed);
+            ClientTrace {
+                client: k,
+                view,
+                trace,
+            }
+        })
+        .collect()
+}
+
 /// Tracks which connections the trace currently holds open, with O(1)
 /// uniform sampling from either side (swap-remove lists plus a location
 /// index).
@@ -433,6 +506,85 @@ mod tests {
                 assert_ne!(capp, oapp);
             }
         }
+    }
+
+    #[test]
+    fn client_population_partitions_the_pool_disjointly() {
+        let spec = paper_workload(42);
+        let params = ChurnParams::steady(200);
+        let population = client_population(&spec, 7, &params, 3);
+        assert_eq!(population.len(), 7);
+        // The pools are disjoint and cover every connection.
+        let mut seen: HashSet<ConnId> = HashSet::new();
+        for ct in &population {
+            for c in ct.view.connections() {
+                assert!(seen.insert(c.id), "{} owned by two clients", c.id);
+            }
+        }
+        assert_eq!(seen.len(), spec.connections().len());
+        // Each client's trace stays within its own pool.
+        for ct in &population {
+            let pool: HashSet<ConnId> = ct.view.connections().iter().map(|c| c.id).collect();
+            for e in &ct.trace.events {
+                let ids: Vec<ConnId> = match &e.op {
+                    ChurnOp::Open(c) | ChurnOp::Close(c) => vec![*c],
+                    ChurnOp::Switch { close, open } => close.iter().chain(open).copied().collect(),
+                };
+                assert!(ids.iter().all(|c| pool.contains(c)));
+            }
+        }
+    }
+
+    #[test]
+    fn client_population_merges_stateful_consistent() {
+        // Any client-order-preserving interleaving is globally
+        // stateful-consistent; check the sort-by-time merge.
+        let spec = paper_workload(42);
+        let population = client_population(&spec, 5, &ChurnParams::steady(400), 11);
+        let mut merged: Vec<(u64, u32, usize)> = Vec::new();
+        for ct in &population {
+            for (seq, e) in ct.trace.events.iter().enumerate() {
+                merged.push((e.at_ns, ct.client, seq));
+            }
+        }
+        merged.sort_unstable();
+        let mut open: HashSet<ConnId> = HashSet::new();
+        for (_, client, seq) in merged {
+            match &population[client as usize].trace.events[seq].op {
+                ChurnOp::Open(c) => assert!(open.insert(*c), "{c} opened twice"),
+                ChurnOp::Close(c) => assert!(open.remove(c), "{c} closed while closed"),
+                ChurnOp::Switch { close, open: add } => {
+                    for c in close {
+                        assert!(open.remove(c));
+                    }
+                    for c in add {
+                        assert!(open.insert(*c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn client_population_is_deterministic_and_seed_sensitive() {
+        let spec = paper_workload(42);
+        let params = ChurnParams::steady(100);
+        let a = client_population(&spec, 4, &params, 5);
+        let b = client_population(&spec, 4, &params, 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.trace, y.trace);
+        }
+        let c = client_population(&spec, 4, &params, 6);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.trace != y.trace));
+    }
+
+    #[test]
+    #[should_panic(expected = "one-per-client")]
+    fn too_many_clients_rejected() {
+        let spec = paper_workload(1);
+        let n = spec.connections().len() as u32;
+        let _ = client_population(&spec, n + 1, &ChurnParams::steady(10), 0);
     }
 
     #[test]

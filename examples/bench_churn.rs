@@ -65,7 +65,9 @@ fn measure(name: &'static str, platform: &'static str, spec: &SystemSpec, seed: 
     let stats = *engine.stats();
     let ops = stats.ops() - before.ops();
     let setups = stats.setups - before.setups;
-    let rejected = stats.rejected_setups - before.rejected_setups;
+    let rejected = stats.refused_opens + stats.refused_switches
+        - before.refused_opens
+        - before.refused_switches;
     let ops_per_sec = ops as f64 / elapsed;
     let ns_per_op = elapsed * 1e9 / ops as f64;
 

@@ -1,0 +1,301 @@
+//! Admission-as-a-service throughput and latency: drives the
+//! `aelite-serve` request pipeline with client populations churning
+//! disjoint connection pools and writes `BENCH_SERVE.json`, the serving
+//! perf record future PRs track.
+//!
+//! Per workload the harness measures, over the same merged request
+//! stream after the same untimed warm-up quarter (serial and batched as
+//! the best of five interleaved repetitions each, so scheduler noise
+//! cannot fake or mask a speedup):
+//!
+//! * **serial** — the per-op baseline: every request through
+//!   `ChurnEngine::submit`, one admission round each;
+//! * **batched** — the deterministic single-thread pipeline:
+//!   `plan_bursts` + `ChurnEngine::submit_batch`, one admission round
+//!   per independent burst (the per-round platform validation and
+//!   grant-capacity check amortise across the burst);
+//! * **pipeline** — the threaded executor (`serve_pipeline`): producer
+//!   threads enqueue per-client streams into a bounded queue, the
+//!   admission loop drains bursts and records end-to-end latency in an
+//!   HDR-style histogram (p50/p99/p999).
+//!
+//! The committed gate (asserted here, smoke-run in CI) is on the
+//! 8×8-mesh/1000-connection platform: **batched throughput ≥1.5× the
+//! serial per-op baseline**, with sane latency percentiles
+//! (p50 ≤ p99 ≤ p999).
+//!
+//! Run with `cargo run --release --example bench_serve`.
+
+use aelite_alloc::Allocation;
+use aelite_online::ChurnEngine;
+use aelite_serve::{
+    merge_population, replay_batched, replay_serial, serve_pipeline, warm_up, PipelineConfig,
+    TimedRequest,
+};
+use aelite_spec::app::SystemSpec;
+use aelite_spec::churn::{client_population, ChurnParams};
+use aelite_spec::generate::{paper_workload, scaled_workload};
+use std::fmt::Write as _;
+
+/// Maximum requests per batched admission round.
+const BURST_CAP: usize = 64;
+
+/// Timed repetitions per replay leg; each leg reports its best run
+/// (noise can only slow a repetition down, never speed it up).
+const REPS: usize = 5;
+
+struct Row {
+    name: &'static str,
+    platform: &'static str,
+    connections: usize,
+    clients: u32,
+    requests: u64,
+    serial_ops_per_sec: f64,
+    batched_ops_per_sec: f64,
+    batched_speedup: f64,
+    bursts: u64,
+    mean_burst: f64,
+    admission_rate: f64,
+    refused_opens: u64,
+    refused_closes: u64,
+    refused_switches: u64,
+    rolled_back_opens: u64,
+    pipeline_ops_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    mean_ns: f64,
+    max_ns: u64,
+}
+
+fn fresh(spec: &SystemSpec, stream: &[TimedRequest], warmup: usize) -> (ChurnEngine, Allocation) {
+    let mut engine = ChurnEngine::new(spec);
+    let mut alloc = Allocation::empty_for(spec);
+    warm_up(spec, &mut engine, &mut alloc, stream, warmup);
+    (engine, alloc)
+}
+
+fn measure(
+    name: &'static str,
+    platform: &'static str,
+    spec: &SystemSpec,
+    clients: u32,
+    events_per_client: u32,
+    seed: u64,
+) -> Row {
+    let population =
+        client_population(spec, clients, &ChurnParams::steady(events_per_client), seed);
+    let stream = merge_population(population);
+    // Untimed ramp to steady-state occupancy on each fresh engine; the
+    // remaining three quarters are the timed window.
+    let warmup = stream.len() / 4;
+    let timed = &stream[warmup..];
+
+    // Interleaved best-of-N: scheduler noise only ever *slows* a run
+    // down, so the fastest of several repetitions — serial and batched
+    // alternating, so a quiet window benefits both legs — recovers each
+    // leg's true sustained rate.
+    let mut serial: Option<aelite_serve::ReplayReport> = None;
+    let mut batched: Option<aelite_serve::ReplayReport> = None;
+    for _ in 0..REPS {
+        let (mut engine, mut alloc) = fresh(spec, &stream, warmup);
+        let s = replay_serial(spec, &mut engine, &mut alloc, timed);
+        if serial
+            .as_ref()
+            .is_none_or(|b| s.ops_per_sec > b.ops_per_sec)
+        {
+            serial = Some(s);
+        }
+        let (mut engine, mut alloc) = fresh(spec, &stream, warmup);
+        let b = replay_batched(spec, &mut engine, &mut alloc, timed, BURST_CAP);
+        if batched
+            .as_ref()
+            .is_none_or(|x| b.ops_per_sec > x.ops_per_sec)
+        {
+            batched = Some(b);
+        }
+    }
+    let (serial, batched) = (serial.unwrap(), batched.unwrap());
+
+    // The threaded executor over the same timed window, split back into
+    // per-client streams (order within each client preserved).
+    let (mut engine, mut alloc) = fresh(spec, &stream, warmup);
+    let mut streams: Vec<Vec<TimedRequest>> = (0..clients).map(|_| Vec::new()).collect();
+    for r in timed {
+        streams[r.client as usize].push(r.clone());
+    }
+    let pipeline = serve_pipeline(
+        spec,
+        &mut engine,
+        &mut alloc,
+        &streams,
+        &PipelineConfig {
+            burst_cap: BURST_CAP,
+            ..PipelineConfig::default()
+        },
+    );
+
+    let row = Row {
+        name,
+        platform,
+        connections: spec.connections().len(),
+        clients,
+        requests: batched.requests,
+        serial_ops_per_sec: serial.ops_per_sec,
+        batched_ops_per_sec: batched.ops_per_sec,
+        batched_speedup: batched.ops_per_sec / serial.ops_per_sec,
+        bursts: batched.bursts,
+        mean_burst: batched.requests as f64 / batched.bursts as f64,
+        admission_rate: batched.admitted as f64 / batched.requests.max(1) as f64,
+        refused_opens: batched.stats.refused_opens,
+        refused_closes: batched.stats.refused_closes,
+        refused_switches: batched.stats.refused_switches,
+        rolled_back_opens: batched.stats.rolled_back_opens,
+        pipeline_ops_per_sec: pipeline.replay.ops_per_sec,
+        p50_ns: pipeline.latency.percentile(50.0),
+        p99_ns: pipeline.latency.percentile(99.0),
+        p999_ns: pipeline.latency.percentile(99.9),
+        mean_ns: pipeline.latency.mean(),
+        max_ns: pipeline.latency.max(),
+    };
+    println!(
+        "{name:>13}: serial {:5.2} Mops/s | batched {:5.2} Mops/s ({:4.2}x, {:4.1} req/burst) | \
+         pipeline {:5.2} Mops/s | p50 {:.1} us, p99 {:.1} us, p999 {:.1} us",
+        row.serial_ops_per_sec / 1e6,
+        row.batched_ops_per_sec / 1e6,
+        row.batched_speedup,
+        row.mean_burst,
+        row.pipeline_ops_per_sec / 1e6,
+        row.p50_ns as f64 / 1e3,
+        row.p99_ns as f64 / 1e3,
+        row.p999_ns as f64 / 1e3,
+    );
+    row
+}
+
+fn main() {
+    println!(
+        "admission-as-a-service (client populations over disjoint pools; burst cap {BURST_CAP}, \
+         first quarter untimed)"
+    );
+    let rows = [
+        measure(
+            "paper_200",
+            "4x3 mesh, 4 NIs/router, 64-slot tables (Section VII)",
+            &paper_workload(42),
+            50,
+            400,
+            42,
+        ),
+        measure(
+            "mesh8x8_1000",
+            "8x8 mesh, 4 NIs/router, 64-slot tables, synthetic",
+            &scaled_workload(8, 8, 4, 1000, 1),
+            500,
+            400,
+            1,
+        ),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"aelite-bench-serve/1\",\n");
+    json.push_str("  \"generated_by\": \"examples/bench_serve.rs\",\n");
+    json.push_str(
+        "  \"note\": \"request pipeline over aelite_online::ChurnEngine: per-client Poisson churn \
+         streams on disjoint connection pools, merged arrival-ordered; serial = one admission \
+         round per request; batched = one round per independent burst (client-unique, cap 64), \
+         which amortises the per-round spec validation and grant-capacity check and shares the \
+         warm RouteCache and recycled-grant scratch across the burst, with per-request rollback; \
+         pipeline = threaded producer/consumer executor, latency measured enqueue-to-burst-\
+         completion on a log-linear HDR histogram (~6% resolution). ops = individual connection \
+         setups+teardowns; first quarter of each stream is an untimed ramp; serial and batched \
+         report the best of 5 interleaved repetitions each\",\n",
+    );
+    json.push_str(
+        "  \"gate\": \"mesh8x8_1000: batched_speedup_vs_serial >= 1.5 and p50 <= p99 <= p999\",\n",
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", r.name).unwrap();
+        writeln!(json, "      \"platform\": \"{}\",", r.platform).unwrap();
+        writeln!(json, "      \"connections\": {},", r.connections).unwrap();
+        writeln!(json, "      \"clients\": {},", r.clients).unwrap();
+        writeln!(json, "      \"timed_requests\": {},", r.requests).unwrap();
+        writeln!(
+            json,
+            "      \"serial_ops_per_sec\": {:.0},",
+            r.serial_ops_per_sec
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"batched_ops_per_sec\": {:.0},",
+            r.batched_ops_per_sec
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"batched_speedup_vs_serial\": {:.2},",
+            r.batched_speedup
+        )
+        .unwrap();
+        writeln!(json, "      \"bursts\": {},", r.bursts).unwrap();
+        writeln!(json, "      \"mean_burst_size\": {:.1},", r.mean_burst).unwrap();
+        writeln!(json, "      \"admission_rate\": {:.4},", r.admission_rate).unwrap();
+        writeln!(json, "      \"refused_opens\": {},", r.refused_opens).unwrap();
+        writeln!(json, "      \"refused_closes\": {},", r.refused_closes).unwrap();
+        writeln!(json, "      \"refused_switches\": {},", r.refused_switches).unwrap();
+        writeln!(
+            json,
+            "      \"rolled_back_opens\": {},",
+            r.rolled_back_opens
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"pipeline_ops_per_sec\": {:.0},",
+            r.pipeline_ops_per_sec
+        )
+        .unwrap();
+        writeln!(json, "      \"latency_p50_ns\": {},", r.p50_ns).unwrap();
+        writeln!(json, "      \"latency_p99_ns\": {},", r.p99_ns).unwrap();
+        writeln!(json, "      \"latency_p999_ns\": {},", r.p999_ns).unwrap();
+        writeln!(json, "      \"latency_mean_ns\": {:.0},", r.mean_ns).unwrap();
+        writeln!(json, "      \"latency_max_ns\": {}", r.max_ns).unwrap();
+        write!(
+            json,
+            "    }}{}",
+            if i + 1 < rows.len() { ",\n" } else { "\n" }
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_SERVE.json", &json).expect("write BENCH_SERVE.json");
+    println!("\nwrote BENCH_SERVE.json");
+
+    // The tentpole gate: batching must beat the serial per-op baseline
+    // by >= 1.5x on the 8x8/1000-connection platform, and the latency
+    // distribution must be well-formed.
+    let gate = rows.iter().find(|r| r.name == "mesh8x8_1000").unwrap();
+    assert!(
+        gate.batched_speedup >= 1.5,
+        "mesh8x8_1000 batched admission regressed below 1.5x serial: {:.2}x",
+        gate.batched_speedup
+    );
+    for r in &rows {
+        assert!(
+            r.p50_ns <= r.p99_ns && r.p99_ns <= r.p999_ns && r.p999_ns <= r.max_ns,
+            "{}: malformed latency percentiles",
+            r.name
+        );
+        assert!(
+            r.admission_rate > 0.9,
+            "{}: admission rate collapsed to {:.3}",
+            r.name,
+            r.admission_rate
+        );
+    }
+}

@@ -17,7 +17,7 @@ use aelite_alloc::allocate;
 use aelite_noc::network::NetworkKind;
 use aelite_noc::ni::FlitDelivery;
 use aelite_noc::turbo::build_turbo;
-use aelite_online::ChurnEngine;
+use aelite_online::{AdmissionRequest, ChurnEngine};
 use aelite_spec::app::SystemSpec;
 use aelite_spec::generate::paper_workload;
 use aelite_spec::ids::{AppId, ConnId};
@@ -90,6 +90,79 @@ fn persisting_connections_are_bitwise_undisturbed_across_a_switch() {
     let flits: usize = before.iter().map(Vec::len).sum();
     assert!(
         flits > 10_000,
+        "only {flits} flits in {HORIZON_CYCLES} cycles"
+    );
+}
+
+#[test]
+fn served_burst_leaves_untouched_connections_bit_identical() {
+    // A batched admission round (the serving layer's unit of work) must
+    // be as undisturbed as the per-op path: every connection not named
+    // in the burst keeps a bit-identical delivery log across the round.
+    let spec = paper_workload(13);
+    let mut alloc = allocate(&spec).expect("paper workload allocates");
+    let mut engine = ChurnEngine::new(&spec);
+
+    // Pre-state: every 7th connection is closed (they become the
+    // burst's opens); every 5th (not multiple of 7) stays open and gets
+    // closed by the burst; the rest persist untouched.
+    let all: Vec<ConnId> = spec.connections().iter().map(|c| c.id).collect();
+    let to_open: Vec<ConnId> = all.iter().copied().filter(|c| c.index() % 7 == 2).collect();
+    let to_close: Vec<ConnId> = all
+        .iter()
+        .copied()
+        .filter(|c| c.index() % 7 != 2 && c.index() % 5 == 1)
+        .collect();
+    let persisting: Vec<ConnId> = all
+        .iter()
+        .copied()
+        .filter(|c| c.index() % 7 != 2 && c.index() % 5 != 1)
+        .collect();
+    assert!(!to_open.is_empty() && !to_close.is_empty());
+    assert!(persisting.len() > all.len() / 2);
+    for &c in &to_open {
+        assert!(engine.close(&mut alloc, c));
+    }
+
+    let open_now: Vec<ConnId> = alloc.grants().map(|g| g.conn).collect();
+    let view_before = spec.restricted_to_connections(&open_now);
+    let before = delivery_logs(&view_before, &alloc, &persisting);
+    let persisting_grants: Vec<_> = persisting
+        .iter()
+        .map(|&c| alloc.grant(c).unwrap().clone())
+        .collect();
+
+    // The served burst: independent requests (each connection named
+    // once), applied as one batched admission round.
+    let requests: Vec<AdmissionRequest> = to_open
+        .iter()
+        .map(|&c| AdmissionRequest::Open(c))
+        .chain(to_close.iter().map(|&c| AdmissionRequest::Close(c)))
+        .collect();
+    let mut verdicts = Vec::new();
+    engine.submit_batch(&spec, &mut alloc, &requests, &mut verdicts);
+    let admitted = verdicts.iter().filter(|v| v.is_ok()).count();
+    assert!(
+        admitted >= requests.len() - 2,
+        "burst mostly admits ({admitted}/{})",
+        requests.len()
+    );
+
+    // Structural: untouched grants are bit-identical.
+    for g in &persisting_grants {
+        assert_eq!(alloc.grant(g.conn).unwrap(), g, "{} moved", g.conn);
+    }
+
+    // Behavioural: delivery logs of the untouched connections are
+    // bit-for-bit the pre-burst logs.
+    let open_after: Vec<ConnId> = alloc.grants().map(|g| g.conn).collect();
+    let view_after = spec.restricted_to_connections(&open_after);
+    let after = delivery_logs(&view_after, &alloc, &persisting);
+    assert_eq!(before, after, "a served burst disturbed a bystander");
+
+    let flits: usize = before.iter().map(Vec::len).sum();
+    assert!(
+        flits > 5_000,
         "only {flits} flits in {HORIZON_CYCLES} cycles"
     );
 }

@@ -1,0 +1,250 @@
+//! Property-based tests of batched admission: a batched round over an
+//! arbitrary burst — conflicting requests included — yields the
+//! identical end-state allocation (free mask and owner array in
+//! lock-step per slot) and identical per-request verdicts as serially
+//! submitting the same requests in canonical order; and the planned
+//! independent bursts of a client-population stream replay identically
+//! batched and burstwise-serial.
+
+use aelite_alloc::Allocation;
+use aelite_online::{canonical_order, AdmissionRequest, AdmissionResponse, ChurnEngine};
+use aelite_serve::{merge_population, plan_bursts, replay_batched, warm_up};
+use aelite_spec::app::SystemSpec;
+use aelite_spec::churn::{client_population, ChurnParams};
+use aelite_spec::generate::{random_workload, WorkloadParams};
+use aelite_spec::ids::{AppId, ConnId, LinkId};
+use aelite_spec::topology::Topology;
+use aelite_spec::NocConfig;
+use proptest::prelude::*;
+
+/// A small but genuinely shared platform: 2×2 mesh, 2 NIs per router,
+/// 3 applications, 14 connections.
+fn small_spec(seed: u64) -> SystemSpec {
+    let params = WorkloadParams {
+        apps: 3,
+        connections: 14,
+        ips: 8,
+        bw_min_mb: 10,
+        bw_max_mb: 80,
+        lat_min_ns: 200,
+        lat_max_ns: 2_000,
+        message_bytes: 32,
+        ni_load_cap: 0.5,
+    };
+    random_workload(
+        Topology::mesh(2, 2, 2),
+        NocConfig::paper_default(),
+        params,
+        seed,
+    )
+}
+
+/// Decodes one proptest draw into a (possibly conflicting, possibly
+/// state-mismatched) admission request — totality is part of what the
+/// equivalence must cover.
+fn decode_request(spec: &SystemSpec, kind: u8, pick: u16) -> AdmissionRequest {
+    let conns = spec.connections();
+    let n = conns.len();
+    let conn = |p: usize| conns[p % n].id;
+    match kind % 8 {
+        0..=2 => AdmissionRequest::Open(conn(pick as usize)),
+        3..=5 => AdmissionRequest::Close(conn(pick as usize)),
+        _ => {
+            // An arbitrary small switch; sides may overlap other
+            // requests of the burst or name open/closed conns wrongly.
+            let app = AppId::new(u32::from(pick) % spec.apps().len() as u32);
+            let side: Vec<ConnId> = spec.app_connections(app).map(|c| c.id).collect();
+            let mid = (pick as usize / 7) % (side.len() + 1);
+            AdmissionRequest::Switch {
+                close: side[..mid].to_vec(),
+                open: side[mid..].to_vec(),
+            }
+        }
+    }
+}
+
+/// Every slot of every link agrees between the two allocations: same
+/// free bit, same owner (free mask and owner array lock-step equality).
+fn assert_tables_identical(spec: &SystemSpec, a: &Allocation, b: &Allocation) {
+    for li in 0..spec.topology().link_count() {
+        let (ta, tb) = (
+            a.link_table(LinkId::new(li as u32)),
+            b.link_table(LinkId::new(li as u32)),
+        );
+        for s in 0..ta.size() {
+            assert_eq!(ta.is_free(s), tb.is_free(s), "link {li} slot {s} free bit");
+            assert_eq!(ta.owner(s), tb.owner(s), "link {li} slot {s} owner");
+        }
+    }
+    for c in spec.connections() {
+        assert_eq!(a.grant(c.id), b.grant(c.id), "{} grant diverged", c.id);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `submit_batch` over an arbitrary burst ≡ serial `submit` of the
+    /// same requests in `canonical_order`: identical verdicts at every
+    /// arrival index, identical engine counters, identical end state
+    /// down to each slot's free bit and owner.
+    #[test]
+    fn batched_round_equals_serial_canonical(
+        seed in 0u64..4,
+        prelude in proptest::collection::vec((0u8..8, 0u16..1024), 0..20),
+        bursts in proptest::collection::vec(
+            proptest::collection::vec((0u8..8, 0u16..1024), 1..16), 1..5),
+    ) {
+        let spec = small_spec(seed);
+        let mut engine_a = ChurnEngine::new(&spec);
+        let mut engine_b = ChurnEngine::new(&spec);
+        let mut alloc_a = Allocation::empty_for(&spec);
+        let mut alloc_b = Allocation::empty_for(&spec);
+
+        // Identical arbitrary starting state on both sides.
+        for &(kind, pick) in &prelude {
+            let req = decode_request(&spec, kind, pick);
+            let va = engine_a.submit(&spec, &mut alloc_a, req.clone());
+            let vb = engine_b.submit(&spec, &mut alloc_b, req);
+            prop_assert_eq!(va, vb);
+        }
+
+        let mut order = Vec::new();
+        let mut verdicts_a = Vec::new();
+        for burst in &bursts {
+            let requests: Vec<AdmissionRequest> = burst
+                .iter()
+                .map(|&(kind, pick)| decode_request(&spec, kind, pick))
+                .collect();
+
+            // A: one batched admission round.
+            engine_a.submit_batch(&spec, &mut alloc_a, &requests, &mut verdicts_a);
+            prop_assert_eq!(verdicts_a.len(), requests.len());
+
+            // B: serial submits in canonical order, verdicts landed at
+            // their arrival indices.
+            canonical_order(&spec, &requests, &mut order);
+            let mut verdicts_b = vec![None; requests.len()];
+            for &i in &order {
+                verdicts_b[i] =
+                    Some(engine_b.submit(&spec, &mut alloc_b, requests[i].clone()));
+            }
+
+            for (i, v) in verdicts_a.iter().enumerate() {
+                prop_assert_eq!(Some(*v), verdicts_b[i], "verdict {} diverged", i);
+            }
+            assert_tables_identical(&spec, &alloc_a, &alloc_b);
+            prop_assert_eq!(engine_a.stats(), engine_b.stats());
+        }
+    }
+
+    /// The deterministic batched replay of a client-population stream
+    /// equals applying each planned burst serially in canonical order —
+    /// end state, verdict count and counters.
+    #[test]
+    fn population_replay_batched_equals_burstwise_serial(
+        clients in 2u32..8,
+        events in 20u32..60,
+        seed in 0u64..3,
+        cap in 2usize..32,
+    ) {
+        let spec = small_spec(1);
+        let stream = merge_population(client_population(
+            &spec, clients, &ChurnParams::steady(events), seed,
+        ));
+        let warmup = stream.len() / 4;
+
+        let mut engine_a = ChurnEngine::new(&spec);
+        let mut alloc_a = Allocation::empty_for(&spec);
+        warm_up(&spec, &mut engine_a, &mut alloc_a, &stream, warmup);
+        let report = replay_batched(&spec, &mut engine_a, &mut alloc_a, &stream[warmup..], cap);
+
+        let mut engine_b = ChurnEngine::new(&spec);
+        let mut alloc_b = Allocation::empty_for(&spec);
+        warm_up(&spec, &mut engine_b, &mut alloc_b, &stream, warmup);
+        let timed = &stream[warmup..];
+        let mut order = Vec::new();
+        let mut admitted = 0u64;
+        for b in plan_bursts(timed, cap) {
+            let requests: Vec<AdmissionRequest> =
+                timed[b].iter().map(|r| r.request.clone()).collect();
+            canonical_order(&spec, &requests, &mut order);
+            for &i in &order {
+                if engine_b.submit(&spec, &mut alloc_b, requests[i].clone()).is_ok() {
+                    admitted += 1;
+                }
+            }
+        }
+
+        prop_assert_eq!(report.admitted, admitted);
+        prop_assert_eq!(report.requests, timed.len() as u64);
+        assert_tables_identical(&spec, &alloc_a, &alloc_b);
+        prop_assert_eq!(engine_a.stats(), engine_b.stats());
+    }
+
+    /// Batch verdicts are faithful: every `Opened`/`Closed`/`Switched`
+    /// response left the named connections in the promised state when no
+    /// later request of the same burst touched them again.
+    #[test]
+    fn burst_verdicts_match_end_state_for_unconflicted_requests(
+        seed in 0u64..4,
+        burst in proptest::collection::vec((0u8..6, 0u16..1024), 1..14),
+    ) {
+        let spec = small_spec(seed);
+        let mut engine = ChurnEngine::new(&spec);
+        let mut alloc = Allocation::empty_for(&spec);
+        // Half-open starting state, deterministically.
+        for c in spec.connections().iter().step_by(2) {
+            let _ = engine.submit(&spec, &mut alloc, AdmissionRequest::Open(c.id));
+        }
+        let requests: Vec<AdmissionRequest> = burst
+            .iter()
+            .map(|&(kind, pick)| decode_request(&spec, kind, pick))
+            .collect();
+        let mut verdicts = Vec::new();
+        engine.submit_batch(&spec, &mut alloc, &requests, &mut verdicts);
+
+        let touched_once = |c: ConnId| {
+            requests
+                .iter()
+                .filter(|r| match r {
+                    AdmissionRequest::Open(x) | AdmissionRequest::Close(x) => *x == c,
+                    AdmissionRequest::Switch { close, open } => {
+                        close.contains(&c) || open.contains(&c)
+                    }
+                })
+                .count()
+                == 1
+        };
+        for (req, verdict) in requests.iter().zip(&verdicts) {
+            match (req, verdict) {
+                (AdmissionRequest::Open(c), Ok(AdmissionResponse::Opened(r))) => {
+                    prop_assert_eq!(c, r);
+                    if touched_once(*c) {
+                        prop_assert!(alloc.grant(*c).is_some());
+                    }
+                }
+                (AdmissionRequest::Close(c), Ok(AdmissionResponse::Closed(r))) => {
+                    prop_assert_eq!(c, r);
+                    if touched_once(*c) {
+                        prop_assert!(alloc.grant(*c).is_none());
+                    }
+                }
+                (AdmissionRequest::Switch { close, open },
+                 Ok(AdmissionResponse::Switched { opened, .. })) => {
+                    prop_assert_eq!(*opened as usize, open.len());
+                    for c in close.iter().filter(|&&c| touched_once(c)) {
+                        prop_assert!(alloc.grant(*c).is_none());
+                    }
+                    for c in open.iter().filter(|&&c| touched_once(c)) {
+                        prop_assert!(alloc.grant(*c).is_some());
+                    }
+                }
+                (_, Err(_)) => {}
+                (req, verdict) => {
+                    prop_assert!(false, "mismatched verdict {:?} for {:?}", verdict, req);
+                }
+            }
+        }
+    }
+}
