@@ -81,8 +81,21 @@ pub struct ChurnEngine {
     opened: Vec<ConnId>,
     /// Reusable canonical-order buffer for batched rounds.
     batch_order: Vec<usize>,
+    /// Bursts at or below this length take the serial per-request path
+    /// inside [`submit_batch`](Self::submit_batch) (still canonical
+    /// order, so outcomes are bit-identical): round setup is O(1) with
+    /// the cached connection-id bound, so a tiny burst no longer
+    /// amortises the batch bookkeeping.
+    serial_floor: usize,
     stats: ChurnStats,
 }
+
+/// Default burst-size floor below which [`ChurnEngine::submit_batch`]
+/// applies requests through the serial per-request path (in the same
+/// canonical order — outcomes are identical; only the bookkeeping
+/// differs). Measured crossover on the paper platform after the
+/// conn-id-bound cache made round setup O(1); see `BENCH_SERVE.json`.
+pub const SERIAL_FLOOR: usize = 4;
 
 impl ChurnEngine {
     /// An engine for `spec`'s platform with the default [`Allocator`].
@@ -101,8 +114,18 @@ impl ChurnEngine {
             order: Vec::new(),
             opened: Vec::new(),
             batch_order: Vec::new(),
+            serial_floor: SERIAL_FLOOR,
             stats: ChurnStats::default(),
         }
+    }
+
+    /// Sets the burst-size floor below which
+    /// [`submit_batch`](Self::submit_batch) takes the serial per-request
+    /// path (default [`SERIAL_FLOOR`]). `0` forces every burst through
+    /// the batched round; outcomes never depend on the floor, only
+    /// throughput does.
+    pub fn set_serial_floor(&mut self, floor: usize) {
+        self.serial_floor = floor;
     }
 
     /// The admission heuristic this engine uses.
@@ -194,9 +217,56 @@ impl ChurnEngine {
         let mut order = core::mem::take(&mut self.batch_order);
         canonical_order(spec, requests, &mut order);
         debug_assert_eq!(order.len(), requests.len());
+        if requests.len() <= self.serial_floor {
+            // Serial fallback: same canonical order, one round per
+            // request — bit-identical outcomes (a round carries no state
+            // between requests), but no batch bookkeeping to amortise.
+            for &i in &order {
+                let round = self.allocator.begin_round(spec, alloc, &self.routes);
+                verdicts[i] = self.submit_in_round(&round, spec, alloc, &requests[i]);
+            }
+        } else {
+            let round = self.allocator.begin_round(spec, alloc, &self.routes);
+            for &i in &order {
+                verdicts[i] = self.submit_in_round(&round, spec, alloc, &requests[i]);
+            }
+        }
+        self.batch_order = order;
+    }
+
+    /// Services the subset `bucket` (arrival indices into `requests`) of
+    /// a burst as one batched admission round, appending
+    /// `(arrival_index, verdict)` pairs to `verdicts` in canonical
+    /// application order. This is the per-shard building block of
+    /// [`ShardedEngine`](crate::shard::ShardedEngine): each worker runs
+    /// `submit_bucket` over its own bucket against its own slot-table
+    /// partition, and the caller scatters the pairs back to arrival
+    /// order.
+    ///
+    /// With `bucket` covering all of `requests`, this is
+    /// [`submit_batch`](Self::submit_batch) minus the serial-floor
+    /// fallback and the arrival-order scatter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`submit`](Self::submit), or if
+    /// `bucket` contains an out-of-range index.
+    pub fn submit_bucket(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        requests: &[AdmissionRequest],
+        bucket: &[usize],
+        verdicts: &mut Vec<(usize, Result<AdmissionResponse, AdmissionError>)>,
+    ) {
+        let mut order = core::mem::take(&mut self.batch_order);
+        canonical_order_of(spec, requests, bucket, &mut order);
+        debug_assert_eq!(order.len(), bucket.len());
         let round = self.allocator.begin_round(spec, alloc, &self.routes);
+        verdicts.reserve(order.len());
         for &i in &order {
-            verdicts[i] = self.submit_in_round(&round, spec, alloc, &requests[i]);
+            let verdict = self.submit_in_round(&round, spec, alloc, &requests[i]);
+            verdicts.push((i, verdict));
         }
         self.batch_order = order;
     }
@@ -444,14 +514,45 @@ impl ChurnEngine {
 /// Panics if an open request names a connection `spec` does not contain
 /// (the difficulty estimate needs its traffic contract).
 pub fn canonical_order(spec: &SystemSpec, requests: &[AdmissionRequest], out: &mut Vec<usize>) {
+    canonical_order_of_impl(spec, requests, None, out);
+}
+
+/// [`canonical_order`] restricted to the subset `bucket` of arrival
+/// indices: writes into `out` (cleared first) a permutation of `bucket`
+/// in canonical application order. Indices outside `bucket` never
+/// appear; with `bucket` covering `0..requests.len()` this is exactly
+/// [`canonical_order`].
+///
+/// # Panics
+///
+/// Panics if `bucket` contains an index outside `requests`, or (as
+/// [`canonical_order`]) if a bucketed open names a connection `spec`
+/// does not contain.
+pub fn canonical_order_of(
+    spec: &SystemSpec,
+    requests: &[AdmissionRequest],
+    bucket: &[usize],
+    out: &mut Vec<usize>,
+) {
+    canonical_order_of_impl(spec, requests, Some(bucket), out);
+}
+
+fn canonical_order_of_impl(
+    spec: &SystemSpec,
+    requests: &[AdmissionRequest],
+    bucket: Option<&[usize]>,
+    out: &mut Vec<usize>,
+) {
     out.clear();
-    out.extend((0..requests.len()).filter(|&i| matches!(requests[i], AdmissionRequest::Close(_))));
-    out.extend(
-        (0..requests.len()).filter(|&i| matches!(requests[i], AdmissionRequest::Switch { .. })),
-    );
+    let select = |kind: fn(&AdmissionRequest) -> bool, out: &mut Vec<usize>| match bucket {
+        Some(b) => out.extend(b.iter().copied().filter(|&i| kind(&requests[i]))),
+        None => out.extend((0..requests.len()).filter(|&i| kind(&requests[i]))),
+    };
+    select(|r| matches!(r, AdmissionRequest::Close(_)), out);
+    select(|r| matches!(r, AdmissionRequest::Switch { .. }), out);
     let opens_at = out.len();
-    out.extend((0..requests.len()).filter(|&i| matches!(requests[i], AdmissionRequest::Open(_))));
-    out[opens_at..].sort_by_cached_key(|&i| {
+    select(|r| matches!(r, AdmissionRequest::Open(_)), out);
+    let key = |i: usize| {
         let AdmissionRequest::Open(c) = requests[i] else {
             unreachable!("opens segment holds only opens")
         };
@@ -461,7 +562,15 @@ pub fn canonical_order(spec: &SystemSpec, requests: &[AdmissionRequest], out: &m
             c,
             i,
         )
-    });
+    };
+    let opens = &mut out[opens_at..];
+    // Always cache the keys: `estimate_slots` walks the connection's
+    // traffic contract, so one evaluation per element beats recomputing
+    // it on every comparison even for small opens segments — per-shard
+    // buckets in particular hit this path with a handful of opens per
+    // call, where per-comparison recomputation was measured at ~2x the
+    // whole admission cost of the bucket.
+    opens.sort_by_cached_key(|&i| key(i));
 }
 
 #[cfg(test)]

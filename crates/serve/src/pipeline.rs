@@ -4,9 +4,11 @@
 //! percentiles.
 
 use crate::hist::LatencyHistogram;
-use crate::stream::{plan_bursts, TimedRequest};
+use crate::stream::{plan_bursts, plan_bursts_sharded, TimedRequest};
 use aelite_alloc::Allocation;
-use aelite_online::{AdmissionRequest, ChurnEngine, ChurnStats};
+use aelite_online::{
+    AdmissionRequest, ChurnEngine, ChurnStats, ShardClass, ShardedAllocation, ShardedEngine,
+};
 use aelite_spec::SystemSpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
@@ -128,6 +130,74 @@ pub fn replay_batched(
     }
     let elapsed_ns = t0.elapsed().as_nanos() as u64;
     let stats = stats_delta(engine.stats(), &before);
+    ReplayReport {
+        requests: stream.len() as u64,
+        bursts: bursts.len() as u64,
+        admitted,
+        refused: stream.len() as u64 - admitted,
+        ops: stats.ops(),
+        elapsed_ns,
+        ops_per_sec: stats.ops() as f64 / (elapsed_ns as f64 / 1e9).max(1e-12),
+        stats,
+    }
+}
+
+/// [`warm_up`] for the sharded engine: applies `stream[..warmup]` as
+/// single-request bursts (untimed, single-threaded) to bring every
+/// shard's engine and partition to steady state.
+pub fn warm_up_sharded(
+    spec: &SystemSpec,
+    engine: &mut ShardedEngine,
+    alloc: &mut ShardedAllocation,
+    stream: &[TimedRequest],
+    warmup: usize,
+) {
+    let mut verdicts = Vec::with_capacity(1);
+    for r in &stream[..warmup] {
+        let burst = [r.request.clone()];
+        engine.submit_batch(spec, alloc, &burst, &mut verdicts, 1);
+    }
+}
+
+/// Replays `stream` through [`ShardedEngine::replay_stream`]: plans
+/// shard-aware bursts (per-lane capacity `burst_cap`, see
+/// [`plan_bursts_sharded`]) and applies them with segment-scoped
+/// threading on up to `threads` workers. Planning, classification and
+/// request staging are all inside the timed window — the reported
+/// throughput is end to end.
+///
+/// Deterministic for any `threads`: per-connection request order is
+/// preserved by the shard lanes, so verdicts and end state are
+/// bit-identical to submitting each planned burst through
+/// [`ShardedEngine::submit_batch`], whatever the worker count (the
+/// thread-count invariance `tests/shard_replay.rs` pins).
+///
+/// # Panics
+///
+/// Panics if `burst_cap` is zero, or on platform mismatch.
+#[must_use]
+pub fn replay_sharded(
+    spec: &SystemSpec,
+    engine: &mut ShardedEngine,
+    alloc: &mut ShardedAllocation,
+    stream: &[TimedRequest],
+    burst_cap: usize,
+    threads: usize,
+) -> ReplayReport {
+    let before = engine.stats();
+    let mut verdicts = Vec::new();
+    let t0 = Instant::now();
+    let lanes = engine.map().shards() + 1; // last lane = cross-shard
+    let map = engine.map();
+    let bursts = plan_bursts_sharded(stream, burst_cap, lanes, |r| match map.classify(r) {
+        ShardClass::Intra(k) => k,
+        ShardClass::Cross => lanes - 1,
+    });
+    let reqs: Vec<AdmissionRequest> = stream.iter().map(|r| r.request.clone()).collect();
+    engine.replay_stream(spec, alloc, &reqs, &bursts, threads, &mut verdicts);
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let admitted = verdicts.iter().filter(|v| v.is_ok()).count() as u64;
+    let stats = stats_delta(&engine.stats(), &before);
     ReplayReport {
         requests: stream.len() as u64,
         bursts: bursts.len() as u64,
@@ -273,6 +343,125 @@ pub fn serve_pipeline(
     let elapsed_ns = t0.elapsed().as_nanos() as u64;
 
     let stats = stats_delta(engine.stats(), &before);
+    PipelineReport {
+        replay: ReplayReport {
+            requests,
+            bursts,
+            admitted,
+            refused: requests - admitted,
+            ops: stats.ops(),
+            elapsed_ns,
+            ops_per_sec: stats.ops() as f64 / (elapsed_ns as f64 / 1e9).max(1e-12),
+            stats,
+        },
+        latency,
+    }
+}
+
+/// [`serve_pipeline`] driving a [`ShardedEngine`]: the admission loop
+/// buckets incoming requests by shard lane as it drains the queue,
+/// flushes a burst when a client repeats **or any single lane reaches
+/// `cfg.burst_cap`** (so bursts fan out up to `shards × burst_cap`
+/// wide), and applies each burst through
+/// [`ShardedEngine::submit_batch`] on up to `threads` admission
+/// workers.
+///
+/// Latency semantics are identical to [`serve_pipeline`]: enqueue
+/// (after backpressure) to burst completion. Burst composition depends
+/// on producer interleaving, so use [`replay_sharded`] for the
+/// deterministic mode.
+///
+/// # Panics
+///
+/// Panics as [`serve_pipeline`].
+#[must_use]
+pub fn serve_pipeline_sharded(
+    spec: &SystemSpec,
+    engine: &mut ShardedEngine,
+    alloc: &mut ShardedAllocation,
+    streams: &[Vec<TimedRequest>],
+    cfg: &PipelineConfig,
+    threads: usize,
+) -> PipelineReport {
+    assert!(cfg.producers > 0, "need at least one producer");
+    assert!(cfg.burst_cap > 0, "burst capacity must be positive");
+    let clients = streams
+        .iter()
+        .flat_map(|s| s.iter().map(|r| r.client))
+        .max()
+        .map_or(0, |c| c as usize + 1);
+
+    let before = engine.stats();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = sync_channel::<(Instant, u32, AdmissionRequest)>(cfg.queue_depth);
+
+    let mut latency = LatencyHistogram::new();
+    let mut admitted = 0u64;
+    let mut requests = 0u64;
+    let mut bursts = 0u64;
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..cfg.producers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            s.spawn(move || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(stream) = streams.get(k) else { break };
+                for r in stream {
+                    tx.send((Instant::now(), r.client, r.request.clone()))
+                        .expect("admission loop outlives producers");
+                }
+            });
+        }
+        drop(tx);
+
+        let lanes = engine.map().shards() + 1; // last lane = cross-shard
+        let mut stamp = vec![u64::MAX; clients];
+        let mut lane_count = vec![0usize; lanes];
+        let mut burst_id = 0u64;
+        let mut enq: Vec<Instant> = Vec::new();
+        let mut reqs: Vec<AdmissionRequest> = Vec::new();
+        let mut verdicts = Vec::new();
+        let mut flush = |engine: &mut ShardedEngine,
+                         alloc: &mut ShardedAllocation,
+                         reqs: &mut Vec<AdmissionRequest>,
+                         enq: &mut Vec<Instant>,
+                         lane_count: &mut Vec<usize>| {
+            if reqs.is_empty() {
+                return;
+            }
+            engine.submit_batch(spec, alloc, reqs, &mut verdicts, threads);
+            admitted += verdicts.iter().filter(|v| v.is_ok()).count() as u64;
+            let done = Instant::now();
+            for &t in enq.iter() {
+                latency.record(done.duration_since(t).as_nanos() as u64);
+            }
+            bursts += 1;
+            reqs.clear();
+            enq.clear();
+            lane_count.iter_mut().for_each(|c| *c = 0);
+        };
+        while let Ok((t, client, request)) = rx.recv() {
+            let lane = match engine.map().classify(&request) {
+                ShardClass::Intra(k) => k,
+                ShardClass::Cross => lanes - 1,
+            };
+            if lane_count[lane] >= cfg.burst_cap || stamp[client as usize] == burst_id {
+                flush(engine, alloc, &mut reqs, &mut enq, &mut lane_count);
+                burst_id += 1;
+            }
+            stamp[client as usize] = burst_id;
+            lane_count[lane] += 1;
+            enq.push(t);
+            reqs.push(request);
+            requests += 1;
+        }
+        flush(engine, alloc, &mut reqs, &mut enq, &mut lane_count);
+    });
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+
+    let stats = stats_delta(&engine.stats(), &before);
     PipelineReport {
         replay: ReplayReport {
             requests,

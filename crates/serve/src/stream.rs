@@ -83,6 +83,54 @@ pub fn plan_bursts(stream: &[TimedRequest], cap: usize) -> Vec<Range<usize>> {
     bursts
 }
 
+/// Shard-aware burst planning: like [`plan_bursts`], but the capacity
+/// applies **per shard lane** instead of per burst. A burst is flushed
+/// when the next request's client already appears in it, or when any
+/// single shard's bucket (per `shard_of`, e.g.
+/// [`ShardMap::classify`](aelite_online::ShardMap::classify) mapped to
+/// a lane index) would exceed `cap` requests. On a sharded engine each
+/// lane admits its bucket independently, so per-lane capping yields
+/// bursts up to `shards × cap` wide — wider fan-out per round — while
+/// keeping every lane's round bounded.
+///
+/// With one shard (a constant `shard_of`) this is exactly
+/// [`plan_bursts`].
+///
+/// # Panics
+///
+/// Panics if `cap` is zero.
+#[must_use]
+pub fn plan_bursts_sharded(
+    stream: &[TimedRequest],
+    cap: usize,
+    lanes: usize,
+    mut shard_of: impl FnMut(&AdmissionRequest) -> usize,
+) -> Vec<Range<usize>> {
+    assert!(cap > 0, "burst capacity must be positive");
+    let clients = stream.iter().map(|r| r.client).max().map_or(0, |c| c + 1);
+    let mut stamp = vec![usize::MAX; clients as usize];
+    // Per-lane request counts of the current burst (lane index clamped
+    // into range, so an out-of-range `shard_of` answer is just a lane).
+    let mut lane_count = vec![0usize; lanes.max(1)];
+    let mut bursts = Vec::new();
+    let mut start = 0usize;
+    for (i, r) in stream.iter().enumerate() {
+        let burst_id = bursts.len();
+        let lane = shard_of(&r.request).min(lane_count.len() - 1);
+        if lane_count[lane] >= cap || stamp[r.client as usize] == burst_id {
+            bursts.push(start..i);
+            start = i;
+            lane_count.iter_mut().for_each(|c| *c = 0);
+        }
+        stamp[r.client as usize] = bursts.len();
+        lane_count[lane] += 1;
+    }
+    if start < stream.len() {
+        bursts.push(start..stream.len());
+    }
+    bursts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +184,44 @@ mod tests {
             }
             assert!(b.end - b.start <= 64, "burst over cap");
         }
+    }
+
+    #[test]
+    fn sharded_planner_with_one_lane_matches_plain() {
+        let stream = stream_for(9, 200, 3);
+        assert_eq!(
+            plan_bursts_sharded(&stream, 64, 1, |_| 0),
+            plan_bursts(&stream, 64)
+        );
+    }
+
+    #[test]
+    fn sharded_planner_caps_per_lane_and_widens_bursts() {
+        let stream = stream_for(50, 40, 5);
+        // A deterministic 4-way pseudo-partition by connection id.
+        let lane_of = |r: &AdmissionRequest| match r {
+            AdmissionRequest::Open(c) | AdmissionRequest::Close(c) => c.index() % 4,
+            AdmissionRequest::Switch { .. } => 0,
+        };
+        let plain = plan_bursts(&stream, 16);
+        let sharded = plan_bursts_sharded(&stream, 16, 4, lane_of);
+        // Still a partition with client-unique bursts.
+        let mut next = 0;
+        for b in &sharded {
+            assert_eq!(b.start, next);
+            assert!(b.end > b.start);
+            let mut seen = HashSet::new();
+            let mut lanes = [0usize; 4];
+            for r in &stream[b.clone()] {
+                assert!(seen.insert(r.client), "client repeated in burst");
+                lanes[lane_of(&r.request)] += 1;
+            }
+            assert!(lanes.iter().all(|&n| n <= 16), "lane over cap: {lanes:?}");
+            next = b.end;
+        }
+        assert_eq!(next, stream.len());
+        // Per-lane capping can only merge plain bursts, never split.
+        assert!(sharded.len() <= plain.len());
     }
 
     #[test]

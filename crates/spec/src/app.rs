@@ -92,6 +92,10 @@ pub struct SystemSpec {
     connections: Vec<Connection>,
     /// NI hosting each IP, indexed by `IpId`.
     mapping: Vec<NiId>,
+    /// Cached largest connection id plus one; kept in sync by every
+    /// constructor and connection-retaining copy so `conn_id_bound` is
+    /// O(1) on the online admission hot path.
+    conn_bound: usize,
 }
 
 impl SystemSpec {
@@ -139,9 +143,25 @@ impl SystemSpec {
 
     /// The largest connection id plus one — the size needed for dense
     /// per-connection arrays that stay valid across restricted specs.
+    ///
+    /// O(1): the bound is computed when the spec is built and maintained
+    /// by the restricting copies, so per-round callers (grant sizing,
+    /// `Allocator::begin_round`, `build_turbo`) never rescan the
+    /// connection list.
     #[must_use]
     pub fn conn_id_bound(&self) -> usize {
-        self.connections
+        debug_assert_eq!(
+            self.conn_bound,
+            Self::scan_conn_bound(&self.connections),
+            "cached conn_id_bound out of sync with connection list"
+        );
+        self.conn_bound
+    }
+
+    /// The O(connections) scan the cache replaces; still the source of
+    /// truth at construction time and in debug assertions.
+    fn scan_conn_bound(connections: &[Connection]) -> usize {
+        connections
             .iter()
             .map(|c| c.id.index() + 1)
             .max()
@@ -180,6 +200,7 @@ impl SystemSpec {
     pub fn restricted_to(&self, apps: &[AppId]) -> SystemSpec {
         let mut copy = self.clone();
         copy.connections.retain(|c| apps.contains(&c.app));
+        copy.conn_bound = Self::scan_conn_bound(&copy.connections);
         copy
     }
 
@@ -192,6 +213,7 @@ impl SystemSpec {
         let keep: std::collections::HashSet<ConnId> = conns.iter().copied().collect();
         let mut copy = self.clone();
         copy.connections.retain(|c| keep.contains(&c.id));
+        copy.conn_bound = Self::scan_conn_bound(&copy.connections);
         copy
     }
 
@@ -377,12 +399,14 @@ impl SystemSpecBuilder {
     /// Finalises the specification.
     #[must_use]
     pub fn build(self) -> SystemSpec {
+        let conn_bound = SystemSpec::scan_conn_bound(&self.connections);
         SystemSpec {
             topology: self.topology,
             config: self.config,
             apps: self.apps,
             connections: self.connections,
             mapping: self.mapping,
+            conn_bound,
         }
     }
 }
@@ -442,6 +466,23 @@ mod tests {
         assert_eq!(only_a1.connections()[0].id, ConnId::new(2));
         // Platform unchanged.
         assert_eq!(only_a1.topology().router_count(), 2);
+    }
+
+    #[test]
+    fn conn_id_bound_cache_tracks_restriction() {
+        let spec = tiny_spec();
+        assert_eq!(spec.conn_id_bound(), 3);
+        // Dropping the highest-id connection must lower the cached bound,
+        // exactly as the original scan would.
+        let only_a0 = spec.restricted_to(&[AppId::new(0)]);
+        assert_eq!(only_a0.conn_id_bound(), 2);
+        let survivors = spec.restricted_to_connections(&[ConnId::new(2)]);
+        assert_eq!(survivors.conn_id_bound(), 3);
+        let none = spec.restricted_to_connections(&[]);
+        assert_eq!(none.conn_id_bound(), 0);
+        // Copies that keep the connection list keep the bound.
+        assert_eq!(spec.at_frequency(400).conn_id_bound(), 3);
+        assert_eq!(spec.with_link_pipeline_stages(1, 2).conn_id_bound(), 3);
     }
 
     #[test]

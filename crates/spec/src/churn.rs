@@ -243,6 +243,96 @@ pub fn client_population(
         .collect()
 }
 
+/// [`client_population`] with **grouped pools**: connections are first
+/// bucketed by `group_of` (e.g. the shard region of a partitioned mesh,
+/// so each client's pool — and therefore its whole request stream —
+/// maps to one shard), clients are distributed over the groups
+/// proportionally to group size (every group gets at least one client),
+/// and within each group the pool splits round-robin exactly as
+/// [`client_population`] does.
+///
+/// Client indices are assigned in ascending group-key order, so the
+/// returned population is deterministic for a given
+/// `(spec, clients, params, seed, group_of)` — and per-client seeds use
+/// the same global-index derivation as [`client_population`], making a
+/// one-group population identical to the ungrouped one.
+///
+/// # Panics
+///
+/// Panics if `clients` is zero, exceeds the number of connections, or
+/// is smaller than the number of distinct groups (every group needs at
+/// least one client).
+#[must_use]
+pub fn client_population_grouped(
+    spec: &SystemSpec,
+    clients: u32,
+    params: &ChurnParams,
+    seed: u64,
+    group_of: impl Fn(&crate::app::Connection) -> u32,
+) -> Vec<ClientTrace> {
+    let conns = spec.connections();
+    assert!(clients > 0, "need at least one client");
+    assert!(
+        (clients as usize) <= conns.len(),
+        "{clients} clients cannot share {} connections one-per-client",
+        conns.len()
+    );
+    let mut groups: std::collections::BTreeMap<u32, Vec<ConnId>> =
+        std::collections::BTreeMap::new();
+    for c in conns {
+        groups.entry(group_of(c)).or_default().push(c.id);
+    }
+    let sizes: Vec<usize> = groups.values().map(Vec::len).collect();
+    let total: usize = sizes.iter().sum();
+    assert!(
+        groups.len() <= clients as usize,
+        "{clients} clients cannot cover {} groups one-per-group",
+        groups.len()
+    );
+
+    // Proportional shares, clamped to [1, group size], then balanced
+    // round-robin to sum exactly to `clients` — fully deterministic.
+    let mut share: Vec<usize> = sizes
+        .iter()
+        .map(|&s| (clients as usize * s / total).clamp(1, s))
+        .collect();
+    let mut sum: usize = share.iter().sum();
+    let mut i = 0;
+    while sum < clients as usize {
+        if share[i] < sizes[i] {
+            share[i] += 1;
+            sum += 1;
+        }
+        i = (i + 1) % share.len();
+    }
+    let mut i = 0;
+    while sum > clients as usize {
+        if share[i] > 1 {
+            share[i] -= 1;
+            sum -= 1;
+        }
+        i = (i + 1) % share.len();
+    }
+
+    let mut population = Vec::with_capacity(clients as usize);
+    let mut k = 0u32;
+    for (pool, &members) in groups.values().zip(&share) {
+        for j in 0..members {
+            let client_pool: Vec<ConnId> = pool.iter().skip(j).step_by(members).copied().collect();
+            let view = spec.restricted_to_connections(&client_pool);
+            let client_seed = seed ^ (u64::from(k)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let trace = churn_trace(&view, params, client_seed);
+            population.push(ClientTrace {
+                client: k,
+                view,
+                trace,
+            });
+            k += 1;
+        }
+    }
+    population
+}
+
 /// Tracks which connections the trace currently holds open, with O(1)
 /// uniform sampling from either side (swap-remove lists plus a location
 /// index).

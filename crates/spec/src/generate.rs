@@ -175,6 +175,53 @@ pub fn scaled_workload(
     random_workload(topo, NocConfig::paper_default(), params, seed)
 }
 
+/// [`scaled_workload`] with **regional locality**: the router grid is
+/// tiled `tiles_x × tiles_y` and every connection is drawn with both
+/// endpoints inside one tile. Because XY/YX routes never leave their
+/// endpoints' bounding box — and a tile is a contiguous grid rectangle —
+/// a matching shard tiling with the route bound capped at the XY/YX pair
+/// classifies every such connection intra-shard: this is the workload
+/// shape the sharded admission engine scales on (`BENCH_SHARD.json`).
+///
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics as [`random_workload`], or if a tile ends up with fewer than
+/// two IPs (no intra-tile pair can be drawn).
+#[must_use]
+pub fn regional_workload(
+    cols: u32,
+    rows: u32,
+    nis_per_router: u32,
+    connections: u32,
+    seed: u64,
+    tiles_x: u32,
+    tiles_y: u32,
+) -> SystemSpec {
+    let topo = Topology::mesh(cols, rows, nis_per_router);
+    let ips = (topo.ni_count() as u32).max(2);
+    let params = WorkloadParams {
+        apps: 4,
+        connections,
+        ips,
+        bw_min_mb: 10,
+        bw_max_mb: 100,
+        lat_min_ns: 300,
+        lat_max_ns: 3000,
+        message_bytes: 64,
+        ni_load_cap: 0.5,
+    };
+    try_random_workload_with(
+        topo,
+        NocConfig::paper_default(),
+        params,
+        seed,
+        Some((tiles_x, tiles_y)),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Generates a random workload on an arbitrary platform.
 ///
 /// See the [module documentation](self) for the draw's feasibility rules.
@@ -213,6 +260,33 @@ pub fn try_random_workload(
     params: WorkloadParams,
     seed: u64,
 ) -> Result<SystemSpec, WorkloadError> {
+    try_random_workload_with(topo, config, params, seed, None)
+}
+
+/// [`try_random_workload`] with an optional **locality constraint**:
+/// with `locality: Some((tiles_x, tiles_y))` the router grid is tiled
+/// and every connection's destination is drawn from the IPs of its
+/// source's tile, producing region-local traffic (see
+/// [`regional_workload`]). `None` reproduces [`try_random_workload`]
+/// bit-for-bit (identical rng draw sequence).
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InfeasibleDraw`] as [`try_random_workload`]
+/// — a tile with fewer than two IPs makes every draw of that tile
+/// infeasible.
+///
+/// # Panics
+///
+/// Panics as [`try_random_workload`], or if `locality` is requested on
+/// a non-mesh topology.
+pub fn try_random_workload_with(
+    topo: Topology,
+    config: NocConfig,
+    params: WorkloadParams,
+    seed: u64,
+    locality: Option<(u32, u32)>,
+) -> Result<SystemSpec, WorkloadError> {
     assert!(params.ips >= 2, "need at least two IPs");
     assert!(params.apps >= 1, "need at least one application");
     assert!(params.connections >= 1, "need at least one connection");
@@ -244,6 +318,25 @@ pub fn try_random_workload(
         ips.push(b.add_ip_at(ni));
     }
 
+    // Tile pools for the locality constraint: which tile each IP's
+    // router falls in, and the IPs of each tile.
+    let regional: Option<(Vec<Vec<IpId>>, Vec<usize>)> = locality.map(|(tx, ty)| {
+        let (cols, rows) = b
+            .topology()
+            .mesh_dims()
+            .expect("regional workloads require a mesh topology");
+        let mut tile_ips: Vec<Vec<IpId>> = vec![Vec::new(); (tx * ty) as usize];
+        let mut ip_tile = vec![0usize; ips.len()];
+        for (i, &ip) in ips.iter().enumerate() {
+            let r = b.topology().ni_router(b.spec_ni(ip));
+            let (x, y) = b.topology().coords(r).expect("mesh router has coordinates");
+            let t = (y * ty / rows * tx + x * tx / cols) as usize;
+            ip_tile[i] = t;
+            tile_ips[t].push(ip);
+        }
+        (tile_ips, ip_tile)
+    });
+
     // Remaining slot budget per directed link. A connection consumes its
     // estimated slot count on every link of its XY route; drawing against
     // this budget keeps the workload allocatable (see module docs).
@@ -257,8 +350,18 @@ pub fn try_random_workload(
         for _attempt in 0..5_000 {
             let bw_mb = (lo.ln() + rng.gen::<f64>() * (hi.ln() - lo.ln())).exp();
             let bw = Bandwidth::from_bytes_per_sec((bw_mb * 1e6) as u64);
-            let src = ips[rng.gen_range(0..ips.len())];
-            let dst = ips[rng.gen_range(0..ips.len())];
+            let si = rng.gen_range(0..ips.len());
+            let src = ips[si];
+            let dst = match &regional {
+                None => ips[rng.gen_range(0..ips.len())],
+                Some((tile_ips, ip_tile)) => {
+                    let pool = &tile_ips[ip_tile[si]];
+                    if pool.len() < 2 {
+                        continue; // lone-IP tile: no intra-tile pair
+                    }
+                    pool[rng.gen_range(0..pool.len())]
+                }
+            };
             if src == dst {
                 continue;
             }

@@ -1,0 +1,280 @@
+//! Sharded parallel admission scaling: drives the region-partitioned
+//! [`ShardedEngine`] over a regional client population and writes
+//! `BENCH_SHARD.json`, the shards×threads scaling record future PRs
+//! track.
+//!
+//! The platform is the 8×8-mesh/1000-connection workload with
+//! **regional** traffic (each connection stays inside its 2×2-quadrant
+//! tile), so under the matching quadrant shard map almost every request
+//! admits shard-locally and the four shard engines can run on separate
+//! threads. Clients are grouped by their connections' home shard, and
+//! `plan_bursts_sharded` caps bursts per shard lane, so each admission
+//! round fans out up to `shards × cap` requests wide.
+//!
+//! Per (shards, threads) cell the harness replays the same merged
+//! stream after the same untimed warm-up quarter (best of N
+//! repetitions) through `replay_sharded`. Gates, asserted here and
+//! smoke-run in CI:
+//!
+//! * **determinism** — admission counts (admitted / refused / ops) are
+//!   bit-identical across thread counts at every shard count;
+//! * **scaling** — at 4 shards, the best ops/sec is ≥2× the
+//!   1-shard/1-thread baseline. Parallel wall-clock speedup needs real
+//!   cores, so this gate is enforced only when
+//!   `std::thread::available_parallelism() >= 4`; the JSON records the
+//!   parallelism the numbers were taken under either way.
+//!
+//! Run with `cargo run --release --example bench_shard`; pass `--smoke`
+//! for the reduced CI variant (4×4 mesh, 2 shards × 2 threads).
+
+use aelite_online::{ShardConfig, ShardMap, ShardedAllocation, ShardedEngine};
+use aelite_serve::{merge_population, replay_sharded, warm_up_sharded, ReplayReport, TimedRequest};
+use aelite_spec::app::SystemSpec;
+use aelite_spec::churn::{client_population_grouped, ChurnParams};
+use aelite_spec::generate::regional_workload;
+use std::fmt::Write as _;
+
+/// Maximum requests per shard lane per batched admission round.
+const BURST_CAP: usize = 64;
+
+/// Timed repetitions per cell; each cell reports its best run (noise
+/// can only slow a repetition down, never speed it up).
+const REPS: usize = 3;
+
+struct Scenario {
+    mode: &'static str,
+    platform: &'static str,
+    spec: SystemSpec,
+    tiles: (u32, u32),
+    clients: u32,
+    shard_grids: Vec<(u32, u32)>,
+    threads: Vec<usize>,
+}
+
+struct Cell {
+    shards: usize,
+    threads: usize,
+    report: ReplayReport,
+}
+
+fn scenario(smoke: bool) -> Scenario {
+    if smoke {
+        Scenario {
+            mode: "smoke",
+            platform: "4x4 mesh, 2 NIs/router, 64-slot tables, regional 2x1 tiling",
+            spec: regional_workload(4, 4, 2, 200, 1, 2, 1),
+            tiles: (2, 1),
+            clients: 60,
+            shard_grids: vec![(1, 1), (2, 1)],
+            threads: vec![1, 2],
+        }
+    } else {
+        Scenario {
+            mode: "full",
+            platform: "8x8 mesh, 4 NIs/router, 64-slot tables, regional 2x2 tiling",
+            spec: regional_workload(8, 8, 4, 1000, 1, 2, 2),
+            tiles: (2, 2),
+            clients: 500,
+            shard_grids: vec![(1, 1), (2, 2)],
+            threads: vec![1, 2, 4],
+        }
+    }
+}
+
+fn config_for(grid: (u32, u32)) -> ShardConfig {
+    // Every cell — the 1-shard baseline included — runs the same
+    // max_paths bound, so the admission decisions being timed are
+    // identical work.
+    ShardConfig {
+        max_paths: 2,
+        ..ShardConfig::tiled(grid.0, grid.1)
+    }
+}
+
+fn run_cell(
+    spec: &SystemSpec,
+    cfg: ShardConfig,
+    stream: &[TimedRequest],
+    warmup: usize,
+    threads: usize,
+) -> ReplayReport {
+    let mut best: Option<ReplayReport> = None;
+    for _ in 0..REPS {
+        let mut engine = ShardedEngine::new(spec, cfg);
+        let mut alloc = ShardedAllocation::empty_for(spec, engine.map());
+        warm_up_sharded(spec, &mut engine, &mut alloc, stream, warmup);
+        let r = replay_sharded(
+            spec,
+            &mut engine,
+            &mut alloc,
+            &stream[warmup..],
+            BURST_CAP,
+            threads,
+        );
+        if best.as_ref().is_none_or(|b| r.ops_per_sec > b.ops_per_sec) {
+            best = Some(r);
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sc = scenario(smoke);
+    let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "sharded admission scaling ({} mode, {} hardware threads; burst cap {BURST_CAP}/lane, \
+         first quarter untimed, best of {REPS})",
+        sc.mode, parallelism
+    );
+
+    // The client population is grouped by home shard of the finest shard
+    // map measured, so the same stream exercises every cell.
+    let finest = ShardMap::build(&sc.spec, &config_for(*sc.shard_grids.last().unwrap()));
+    let events = if smoke { 100 } else { 400 };
+    let population =
+        client_population_grouped(&sc.spec, sc.clients, &ChurnParams::steady(events), 1, |c| {
+            finest.conn_home(c.id).map_or(finest.shards(), |k| k) as u32
+        });
+    let stream = merge_population(population);
+    let warmup = stream.len() / 4;
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &grid in &sc.shard_grids {
+        let cfg = config_for(grid);
+        let shards = cfg.shard_count();
+        for &threads in &sc.threads {
+            if shards == 1 && threads > 1 {
+                continue; // one lane cannot use more than one worker
+            }
+            let report = run_cell(&sc.spec, cfg, &stream, warmup, threads);
+            println!(
+                "  {shards} shard(s) x {threads} thread(s): {:6.2} Mops/s \
+                 ({} requests, {:.1} req/burst, {} admitted)",
+                report.ops_per_sec / 1e6,
+                report.requests,
+                report.requests as f64 / report.bursts.max(1) as f64,
+                report.admitted,
+            );
+            cells.push(Cell {
+                shards,
+                threads,
+                report,
+            });
+        }
+    }
+
+    // Determinism gate: at each shard count, admission counts must be
+    // bit-identical whatever the thread count.
+    for c in &cells {
+        let base = cells.iter().find(|b| b.shards == c.shards).unwrap();
+        assert!(
+            c.report.admitted == base.report.admitted
+                && c.report.refused == base.report.refused
+                && c.report.ops == base.report.ops,
+            "{} shards: admission counts vary with thread count",
+            c.shards
+        );
+    }
+
+    let baseline = cells
+        .iter()
+        .find(|c| c.shards == 1 && c.threads == 1)
+        .unwrap()
+        .report
+        .ops_per_sec;
+    let max_shards = cells.iter().map(|c| c.shards).max().unwrap();
+    let best_sharded = cells
+        .iter()
+        .filter(|c| c.shards == max_shards)
+        .map(|c| c.report.ops_per_sec)
+        .fold(0.0f64, f64::max);
+    let scaling = best_sharded / baseline;
+    println!(
+        "  scaling: {scaling:.2}x at {max_shards} shards vs 1-shard baseline \
+         ({:.2} -> {:.2} Mops/s)",
+        baseline / 1e6,
+        best_sharded / 1e6
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"aelite-bench-shard/1\",\n");
+    json.push_str("  \"generated_by\": \"examples/bench_shard.rs\",\n");
+    json.push_str(
+        "  \"note\": \"region-partitioned parallel admission: the mesh is tiled into \
+         link-disjoint quadrant shards, one ChurnEngine per shard on its own thread; regional \
+         workloads keep every route inside its tile so requests admit shard-locally, cross-shard \
+         requests two-phase commit through a hub merge. Clients are grouped by home shard; \
+         plan_bursts_sharded caps bursts per shard lane (cap 64/lane, bursts up to shards*cap \
+         wide). ops = connection setups+teardowns; first quarter untimed; each cell best of 3. \
+         Admission counts are thread-count-invariant by construction (asserted here); parallel \
+         wall-clock speedup requires real cores — see available_parallelism for what these \
+         numbers were taken under\",\n",
+    );
+    writeln!(
+        json,
+        "  \"gate\": \"admission counts identical across thread counts at every shard count; \
+         at {max_shards} shards best ops/sec >= 2x the 1-shard/1-thread baseline (enforced when \
+         available_parallelism >= 4)\","
+    )
+    .unwrap();
+    writeln!(json, "  \"mode\": \"{}\",", sc.mode).unwrap();
+    writeln!(json, "  \"available_parallelism\": {parallelism},").unwrap();
+    writeln!(json, "  \"platform\": \"{}\",", sc.platform).unwrap();
+    writeln!(json, "  \"connections\": {},", sc.spec.connections().len()).unwrap();
+    writeln!(json, "  \"clients\": {},", sc.clients).unwrap();
+    writeln!(json, "  \"tiles\": [{}, {}],", sc.tiles.0, sc.tiles.1).unwrap();
+    writeln!(json, "  \"burst_cap_per_lane\": {BURST_CAP},").unwrap();
+    writeln!(json, "  \"baseline_ops_per_sec\": {baseline:.0},").unwrap();
+    writeln!(json, "  \"best_sharded_ops_per_sec\": {best_sharded:.0},").unwrap();
+    writeln!(json, "  \"scaling_at_{max_shards}_shards\": {scaling:.2},").unwrap();
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let r = &c.report;
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"shards\": {},", c.shards).unwrap();
+        writeln!(json, "      \"threads\": {},", c.threads).unwrap();
+        writeln!(json, "      \"ops_per_sec\": {:.0},", r.ops_per_sec).unwrap();
+        writeln!(
+            json,
+            "      \"speedup_vs_baseline\": {:.2},",
+            r.ops_per_sec / baseline
+        )
+        .unwrap();
+        writeln!(json, "      \"timed_requests\": {},", r.requests).unwrap();
+        writeln!(json, "      \"bursts\": {},", r.bursts).unwrap();
+        writeln!(
+            json,
+            "      \"mean_burst_size\": {:.1},",
+            r.requests as f64 / r.bursts.max(1) as f64
+        )
+        .unwrap();
+        writeln!(json, "      \"admitted\": {},", r.admitted).unwrap();
+        writeln!(json, "      \"refused\": {},", r.refused).unwrap();
+        writeln!(json, "      \"ops\": {}", r.ops).unwrap();
+        write!(
+            json,
+            "    }}{}",
+            if i + 1 < cells.len() { ",\n" } else { "\n" }
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_SHARD.json", &json).expect("write BENCH_SHARD.json");
+    println!("\nwrote BENCH_SHARD.json");
+
+    // Scaling gate — only meaningful with real cores under the threads.
+    if !smoke && parallelism >= 4 {
+        assert!(
+            scaling >= 2.0,
+            "sharded admission regressed below 2x the single-shard baseline: {scaling:.2}x"
+        );
+    } else if !smoke {
+        println!(
+            "scaling gate skipped: available_parallelism {parallelism} < 4 \
+             (determinism gate enforced above)"
+        );
+    }
+}

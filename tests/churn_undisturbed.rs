@@ -17,9 +17,9 @@ use aelite_alloc::allocate;
 use aelite_noc::network::NetworkKind;
 use aelite_noc::ni::FlitDelivery;
 use aelite_noc::turbo::build_turbo;
-use aelite_online::{AdmissionRequest, ChurnEngine};
+use aelite_online::{AdmissionRequest, ChurnEngine, ShardConfig, ShardedAllocation, ShardedEngine};
 use aelite_spec::app::SystemSpec;
-use aelite_spec::generate::paper_workload;
+use aelite_spec::generate::{paper_workload, regional_workload};
 use aelite_spec::ids::{AppId, ConnId};
 
 const HORIZON_CYCLES: u64 = 20_000;
@@ -159,6 +159,92 @@ fn served_burst_leaves_untouched_connections_bit_identical() {
     let view_after = spec.restricted_to_connections(&open_after);
     let after = delivery_logs(&view_after, &alloc, &persisting);
     assert_eq!(before, after, "a served burst disturbed a bystander");
+
+    let flits: usize = before.iter().map(Vec::len).sum();
+    assert!(
+        flits > 5_000,
+        "only {flits} flits in {HORIZON_CYCLES} cycles"
+    );
+}
+
+#[test]
+fn sharded_burst_leaves_untouched_connections_bit_identical() {
+    // The sharded engine admits a burst across four shard threads; the
+    // bystanders — every connection the burst never names — must keep a
+    // bit-for-bit identical delivery log, exactly as on the serial path.
+    let spec = regional_workload(4, 4, 2, 120, 21, 2, 2);
+    let cfg = ShardConfig {
+        max_paths: 2,
+        ..ShardConfig::tiled(2, 2)
+    };
+    let mut engine = ShardedEngine::new(&spec, cfg);
+    let mut alloc = ShardedAllocation::empty_for(&spec, engine.map());
+
+    // Build the pre-state through the engine itself: one wide parallel
+    // burst opening every connection (refusals are fine — the admitted
+    // set is what we protect).
+    let opens: Vec<AdmissionRequest> = spec
+        .connections()
+        .iter()
+        .map(|c| AdmissionRequest::Open(c.id))
+        .collect();
+    let mut verdicts = Vec::new();
+    engine.submit_batch(&spec, &mut alloc, &opens, &mut verdicts, 4);
+    let admitted: Vec<ConnId> = spec
+        .connections()
+        .iter()
+        .zip(&verdicts)
+        .filter(|(_, v)| v.is_ok())
+        .map(|(c, _)| c.id)
+        .collect();
+    assert!(admitted.len() > 60, "only {} admitted", admitted.len());
+
+    // The burst churns every 5th admitted connection; the rest persist.
+    let (churned, persisting): (Vec<ConnId>, Vec<ConnId>) =
+        admitted.iter().partition(|c| c.index() % 5 == 1);
+    assert!(!churned.is_empty() && persisting.len() > admitted.len() / 2);
+
+    let collapsed = alloc.collapse(engine.map());
+    let view_before = spec.restricted_to_connections(&admitted);
+    let before = delivery_logs(&view_before, &collapsed, &persisting);
+    let persisting_grants: Vec<_> = persisting
+        .iter()
+        .map(|&c| alloc.grant(c).unwrap().clone())
+        .collect();
+
+    // The sharded burst: close the churn set in one parallel round,
+    // then re-admit it in another.
+    let closes: Vec<AdmissionRequest> = churned
+        .iter()
+        .map(|&c| AdmissionRequest::Close(c))
+        .collect();
+    engine.submit_batch(&spec, &mut alloc, &closes, &mut verdicts, 4);
+    assert!(verdicts.iter().all(|v| v.is_ok()), "closes cannot refuse");
+
+    let open_mid: Vec<ConnId> = alloc
+        .collapse(engine.map())
+        .grants()
+        .map(|g| g.conn)
+        .collect();
+    let view_mid = spec.restricted_to_connections(&open_mid);
+    let mid = delivery_logs(&view_mid, &alloc.collapse(engine.map()), &persisting);
+    assert_eq!(before, mid, "a sharded close burst disturbed a bystander");
+
+    let reopens: Vec<AdmissionRequest> =
+        churned.iter().map(|&c| AdmissionRequest::Open(c)).collect();
+    engine.submit_batch(&spec, &mut alloc, &reopens, &mut verdicts, 4);
+
+    // Structural: untouched grants are bit-identical through both rounds.
+    for g in &persisting_grants {
+        assert_eq!(alloc.grant(g.conn).unwrap(), g, "{} moved", g.conn);
+    }
+
+    // Behavioural: bystander delivery logs bit-for-bit unchanged.
+    let collapsed_after = alloc.collapse(engine.map());
+    let open_after: Vec<ConnId> = collapsed_after.grants().map(|g| g.conn).collect();
+    let view_after = spec.restricted_to_connections(&open_after);
+    let after = delivery_logs(&view_after, &collapsed_after, &persisting);
+    assert_eq!(before, after, "a sharded burst disturbed a bystander");
 
     let flits: usize = before.iter().map(Vec::len).sum();
     assert!(

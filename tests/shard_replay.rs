@@ -1,0 +1,121 @@
+//! Deterministic sharded replay: the reduced bench-shard scenario —
+//! regional workload, shard-grouped client population, shard-aware
+//! burst planning — must produce bit-identical admission counts, slot
+//! tables and verdict streams at every thread count. This is the
+//! invariance `examples/bench_shard.rs` records into `BENCH_SHARD.json`.
+
+use aelite_online::{ShardClass, ShardConfig, ShardMap, ShardedAllocation, ShardedEngine};
+use aelite_serve::{merge_population, replay_sharded, warm_up_sharded, ReplayReport, TimedRequest};
+use aelite_spec::app::SystemSpec;
+use aelite_spec::churn::{client_population_grouped, ChurnParams};
+use aelite_spec::generate::regional_workload;
+use aelite_spec::ids::LinkId;
+
+const BURST_CAP: usize = 32;
+const WARMUP: usize = 64;
+
+/// A reduced copy of the bench-shard platform: 4×4 mesh, 2 NIs per
+/// router, 120 regional connections over the same 2×2 tiling the shard
+/// map uses, so most traffic is intra-shard.
+fn bench_like_scenario() -> (SystemSpec, ShardConfig, Vec<TimedRequest>) {
+    let cfg = ShardConfig {
+        max_paths: 2,
+        ..ShardConfig::tiled(2, 2)
+    };
+    let spec = regional_workload(4, 4, 2, 120, 77, 2, 2);
+    let map = ShardMap::build(&spec, &cfg);
+    // Group clients by their connections' home shard (cross-shard conns
+    // get their own group) so each client's pool stays shard-coherent.
+    let population = client_population_grouped(&spec, 24, &ChurnParams::steady(80), 99, |c| {
+        map.conn_home(c.id).map_or(map.shards(), |k| k) as u32
+    });
+    (spec, cfg, merge_population(population))
+}
+
+fn run(
+    spec: &SystemSpec,
+    cfg: ShardConfig,
+    stream: &[TimedRequest],
+    threads: usize,
+) -> (ReplayReport, ShardedEngine, ShardedAllocation) {
+    let mut engine = ShardedEngine::new(spec, cfg);
+    let mut alloc = ShardedAllocation::empty_for(spec, engine.map());
+    warm_up_sharded(spec, &mut engine, &mut alloc, stream, WARMUP);
+    let report = replay_sharded(
+        spec,
+        &mut engine,
+        &mut alloc,
+        &stream[WARMUP..],
+        BURST_CAP,
+        threads,
+    );
+    (report, engine, alloc)
+}
+
+#[test]
+fn replay_admission_counts_are_thread_count_invariant() {
+    let (spec, cfg, stream) = bench_like_scenario();
+    let (base, base_engine, base_alloc) = run(&spec, cfg, &stream, 1);
+    assert_eq!(base.requests, (stream.len() - WARMUP) as u64);
+    assert!(base.admitted > 0, "scenario admits nothing");
+    assert!(base.ops > 0, "scenario performs no slot operations");
+
+    let reference = base_alloc.collapse(base_engine.map());
+    for threads in [2usize, 4, 8] {
+        let (r, engine, alloc) = run(&spec, cfg, &stream, threads);
+        assert_eq!(r.requests, base.requests, "{threads} threads: requests");
+        assert_eq!(r.admitted, base.admitted, "{threads} threads: admitted");
+        assert_eq!(r.refused, base.refused, "{threads} threads: refused");
+        assert_eq!(r.ops, base.ops, "{threads} threads: ops");
+        assert_eq!(r.bursts, base.bursts, "{threads} threads: burst count");
+        assert_eq!(
+            engine.stats(),
+            base_engine.stats(),
+            "{threads} threads: stats"
+        );
+
+        let collapsed = alloc.collapse(engine.map());
+        for li in 0..spec.topology().link_count() {
+            let link = LinkId::new(li as u32);
+            let (ta, tb) = (reference.link_table(link), collapsed.link_table(link));
+            for s in 0..ta.size() {
+                assert_eq!(
+                    ta.is_free(s),
+                    tb.is_free(s),
+                    "{threads}t link {li} slot {s}"
+                );
+                assert_eq!(ta.owner(s), tb.owner(s), "{threads}t link {li} slot {s}");
+            }
+        }
+        for c in spec.connections() {
+            assert_eq!(
+                reference.grant(c.id),
+                collapsed.grant(c.id),
+                "{threads} threads: {} grant",
+                c.id
+            );
+        }
+    }
+}
+
+#[test]
+fn regional_population_is_mostly_intra_shard() {
+    let (spec, cfg, stream) = bench_like_scenario();
+    let map = ShardMap::build(&spec, &cfg);
+    let (mut intra, mut cross) = (0u64, 0u64);
+    for r in &stream {
+        match map.classify(&r.request) {
+            ShardClass::Intra(_) => intra += 1,
+            ShardClass::Cross => cross += 1,
+        }
+    }
+    // The regional generator keeps traffic inside its tile, so the
+    // overwhelming share of the stream must admit shard-locally — that
+    // is the parallelism the bench measures.
+    assert!(
+        intra >= 9 * (intra + cross) / 10,
+        "only {intra}/{} requests intra-shard",
+        intra + cross
+    );
+    assert!(spec.connections().len() == 120);
+}
