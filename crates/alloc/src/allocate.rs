@@ -18,7 +18,7 @@
 
 use crate::mask::SlotMask;
 use crate::path::Path;
-use crate::route_cache::RouteCache;
+use crate::route_cache::{RouteCache, RouteProvider};
 use crate::table::{worst_window, SlotTable};
 use aelite_spec::app::SystemSpec;
 use aelite_spec::ids::{ConnId, LinkId};
@@ -540,10 +540,11 @@ impl Allocator {
         }
     }
 
-    /// [`allocate`](Self::allocate) with a caller-supplied [`RouteCache`],
-    /// so repeated allocations over the same topology (e.g. a
-    /// design-space sweep, or re-allocation under churn) skip route
-    /// enumeration entirely after the first run.
+    /// [`allocate`](Self::allocate) with a caller-supplied
+    /// [`RouteProvider`], so repeated allocations over the same topology
+    /// (e.g. a design-space sweep, or re-allocation under churn) skip
+    /// route enumeration entirely after the first run. Grants are
+    /// bit-for-bit independent of the provider implementation.
     ///
     /// # Errors
     ///
@@ -553,10 +554,10 @@ impl Allocator {
     ///
     /// Panics if `routes` was built with a different `max_paths` bound
     /// than this allocator uses (the cached candidate lists would differ).
-    pub fn allocate_with_cache(
+    pub fn allocate_with_cache<R: RouteProvider + ?Sized>(
         &self,
         spec: &SystemSpec,
-        routes: &mut RouteCache,
+        routes: &mut R,
     ) -> Result<Allocation, AllocError> {
         assert_eq!(
             routes.max_paths(),
@@ -594,12 +595,12 @@ impl Allocator {
         Err(last_err.expect("at least one pass attempted"))
     }
 
-    fn allocate_pass(
+    fn allocate_pass<R: RouteProvider + ?Sized>(
         &self,
         spec: &SystemSpec,
         salt: u32,
         promoted: &[ConnId],
-        routes: &mut RouteCache,
+        routes: &mut R,
         scratch: &mut AllocScratch,
     ) -> Result<Allocation, AllocError> {
         let mut alloc = Allocation::empty(spec);
@@ -654,12 +655,12 @@ impl Allocator {
     ///
     /// Panics if `conn` already holds a grant, or if `alloc`/`routes`
     /// were built for a different table size / `max_paths` bound.
-    pub fn admit(
+    pub fn admit<R: RouteProvider + ?Sized>(
         &self,
         spec: &SystemSpec,
         alloc: &mut Allocation,
         conn: ConnId,
-        routes: &mut RouteCache,
+        routes: &mut R,
         scratch: &mut AllocScratch,
     ) -> Result<(), AllocError> {
         let round = self.begin_round(spec, alloc, routes);
@@ -689,11 +690,11 @@ impl Allocator {
     /// size / per-hop shift / `max_paths` bound than `spec` and this
     /// allocator use.
     #[must_use]
-    pub fn begin_round(
+    pub fn begin_round<R: RouteProvider + ?Sized>(
         &self,
         spec: &SystemSpec,
         alloc: &mut Allocation,
-        routes: &RouteCache,
+        routes: &R,
     ) -> AdmissionRound {
         alloc.assert_same_platform(spec);
         assert_eq!(
@@ -721,13 +722,13 @@ impl Allocator {
     /// # Panics
     ///
     /// Panics if `conn` already holds a grant.
-    pub fn admit_in_round(
+    pub fn admit_in_round<R: RouteProvider + ?Sized>(
         &self,
         round: &AdmissionRound,
         spec: &SystemSpec,
         alloc: &mut Allocation,
         conn: ConnId,
-        routes: &mut RouteCache,
+        routes: &mut R,
         scratch: &mut AllocScratch,
     ) -> Result<(), AllocError> {
         debug_assert_eq!(
@@ -752,13 +753,13 @@ impl Allocator {
         Err(last_err.expect("at least one salt attempted"))
     }
 
-    pub(crate) fn allocate_one(
+    pub(crate) fn allocate_one<R: RouteProvider + ?Sized>(
         &self,
         spec: &SystemSpec,
         alloc: &mut Allocation,
         conn: ConnId,
         salt: u32,
-        routes: &mut RouteCache,
+        routes: &mut R,
         scratch: &mut AllocScratch,
     ) -> Result<(), AllocError> {
         let cfg = spec.config();

@@ -8,7 +8,9 @@
 //! * [`path`] — source-route paths and minimal-hop route enumeration.
 //! * [`mask`] — word-level bitset kernels (rotate-and-AND, bit scans)
 //!   behind the allocator's hot path.
-//! * [`route_cache`] — memoized route candidates per (src, dst) NI pair.
+//! * [`route_cache`] — the [`route_cache::RouteProvider`] API: memoized
+//!   route candidates per (src, dst) NI pair, with a lazy hashed default
+//!   cache (memory ∝ pairs routed) and a dense O(1)-lookup variant.
 //! * [`table`] — per-link slot tables, gap and worst-window arithmetic.
 //! * [`mod@allocate`] — the greedy hardest-first allocator.
 //! * [`validate`] — an independent checker that re-derives every guarantee.
@@ -46,6 +48,6 @@ pub use allocate::{
 pub use mask::SlotMask;
 pub use path::{dimension_ordered, route_candidates, Path, PathError};
 pub use reconfigure::release;
-pub use route_cache::{CachedRoute, RouteCache};
+pub use route_cache::{CachedRoute, DenseRouteCache, RouteCache, RouteEntry, RouteProvider};
 pub use table::{gaps, worst_window, SlotTable};
 pub use validate::{validate as validate_allocation, Violation};

@@ -17,7 +17,7 @@
 //! during and after a reconfiguration — tested below and at system level.
 
 use crate::allocate::{AllocError, Allocation, Allocator};
-use crate::route_cache::RouteCache;
+use crate::route_cache::{RouteCache, RouteProvider};
 use aelite_spec::app::SystemSpec;
 use aelite_spec::ids::ConnId;
 
@@ -56,10 +56,10 @@ impl Allocator {
         self.extend_with_cache(spec, alloc, new_conns, &mut routes)
     }
 
-    /// [`extend`](Self::extend) with a caller-supplied [`RouteCache`], so
-    /// a long-running reconfiguration flow (repeated application swaps on
-    /// one platform) enumerates each NI pair's routes at most once across
-    /// its whole lifetime.
+    /// [`extend`](Self::extend) with a caller-supplied [`RouteProvider`],
+    /// so a long-running reconfiguration flow (repeated application swaps
+    /// on one platform) enumerates each NI pair's routes at most once
+    /// across its whole lifetime.
     ///
     /// # Errors
     ///
@@ -69,12 +69,12 @@ impl Allocator {
     ///
     /// As [`extend`](Self::extend); additionally panics if `routes` was
     /// built with a different `max_paths` bound than this allocator uses.
-    pub fn extend_with_cache(
+    pub fn extend_with_cache<R: RouteProvider + ?Sized>(
         &self,
         spec: &SystemSpec,
         alloc: &mut Allocation,
         new_conns: &[ConnId],
-        routes: &mut RouteCache,
+        routes: &mut R,
     ) -> Result<(), AllocError> {
         alloc.assert_same_platform(spec);
         assert_eq!(

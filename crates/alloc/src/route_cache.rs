@@ -6,22 +6,34 @@
 //! destination NI) pair over and over: once per rip-up retry, once per
 //! phase salt, and again for every connection sharing the pair, and the
 //! answer never changes because candidate routes depend only on the
-//! topology. [`RouteCache`] computes each pair's candidates — and each
-//! path's link list — at most once, keyed by a dense
-//! `src × ni_count + dst` index.
+//! topology. A route provider computes each pair's candidates — and each
+//! path's link list — at most once.
 //!
-//! On top of memoization the cache materializes candidates *lazily*, in
-//! the two stages [`route_candidates`](crate::path::route_candidates) already has: the dimension-ordered
-//! XY/YX routes are computed on first touch, and the DFS detour
-//! enumeration runs only if a caller actually walks past them. The
-//! allocator commits to the first feasible candidate, which under light
-//! contention is almost always XY or YX, so most pairs never pay for the
-//! DFS at all — while the candidate *sequence* observed by callers is
-//! identical to an eager enumeration.
+//! The allocator is written against the [`RouteProvider`] trait, with two
+//! implementations that return bit-for-bit identical candidate sequences:
+//!
+//! * [`RouteCache`] — the default: a *hashed* cache whose memory is
+//!   proportional to the pairs actually routed. On a 32×32 mesh with
+//!   4 NIs per router there are 4096² ≈ 16.8M ordered pairs; a 100k-
+//!   connection workload touches at most 100k of them, so a dense table
+//!   would waste three orders of magnitude of memory.
+//! * [`DenseRouteCache`] — a flat `ni_count × ni_count` vector with O(1)
+//!   unhashed lookup, the right trade on small platforms where N² is a
+//!   few thousand entries and the allocator's inner loop dominates.
+//!
+//! On top of memoization both providers materialize candidates *lazily*,
+//! in the two stages [`route_candidates`](crate::path::route_candidates)
+//! already has: the dimension-ordered XY/YX routes are computed on first
+//! touch, and the DFS detour enumeration runs only if a caller actually
+//! walks past them. The allocator commits to the first feasible
+//! candidate, which under light contention is almost always XY or YX, so
+//! most pairs never pay for the DFS at all — while the candidate
+//! *sequence* observed by callers is identical to an eager enumeration.
 
 use crate::path::{detour_candidates, initial_candidates, Path};
 use aelite_spec::ids::{LinkId, NiId};
 use aelite_spec::topology::Topology;
+use std::collections::HashMap;
 
 /// A candidate route with its precomputed link list.
 #[derive(Debug, Clone)]
@@ -32,6 +44,11 @@ pub struct CachedRoute {
     /// ingress link first).
     pub links: Vec<LinkId>,
 }
+
+/// The entry type route providers hand out — candidate routes with their
+/// link lists. Alias of [`CachedRoute`], named from the caller's side of
+/// the [`RouteProvider`] API.
+pub type RouteEntry = CachedRoute;
 
 /// How much of a pair's candidate list has been materialized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,78 +68,7 @@ struct Entry {
     state: EntryState,
 }
 
-/// Memoizes [`route_candidates`](crate::path::route_candidates) plus link lists per (src, dst) NI pair.
-///
-/// Reusable across every pass, salt, and reconfiguration step that shares
-/// a topology and `max_paths` bound. Entries are filled lazily on first
-/// use (and the expensive detour stage only on demand), so sparse traffic
-/// patterns only ever pay for the pairs — and the path diversity — they
-/// actually touch.
-///
-/// # Examples
-///
-/// ```
-/// use aelite_alloc::route_cache::RouteCache;
-/// use aelite_spec::ids::NiId;
-/// use aelite_spec::topology::Topology;
-///
-/// let topo = Topology::mesh(2, 2, 1);
-/// let mut cache = RouteCache::new(&topo, 4);
-/// let routes = cache.candidates(&topo, NiId::new(0), NiId::new(3));
-/// assert!(!routes.is_empty());
-/// assert_eq!(routes[0].links.len(), routes[0].path.link_count());
-/// ```
-#[derive(Debug)]
-pub struct RouteCache {
-    max_paths: usize,
-    ni_count: usize,
-    router_count: usize,
-    link_count: usize,
-    entries: Vec<Entry>,
-}
-
-impl RouteCache {
-    /// Creates an empty cache for `topo`, enumerating at most `max_paths`
-    /// candidates per pair.
-    #[must_use]
-    pub fn new(topo: &Topology, max_paths: usize) -> Self {
-        let ni_count = topo.ni_count();
-        RouteCache {
-            max_paths,
-            ni_count,
-            router_count: topo.router_count(),
-            link_count: topo.link_count(),
-            entries: vec![Entry::default(); ni_count * ni_count],
-        }
-    }
-
-    /// The `max_paths` bound this cache was built with.
-    #[must_use]
-    pub fn max_paths(&self) -> usize {
-        self.max_paths
-    }
-
-    /// Cached routes are only valid for the topology the cache was built
-    /// for; reject anything whose shape (NI/router/link counts) differs.
-    /// A distinct topology with identical counts cannot be detected — it
-    /// is the caller's contract to keep one cache per topology.
-    fn check_topology(&self, topo: &Topology, src: NiId, dst: NiId) {
-        assert!(
-            topo.ni_count() == self.ni_count
-                && topo.router_count() == self.router_count
-                && topo.link_count() == self.link_count,
-            "topology shape changed; rebuild the route cache for it"
-        );
-        assert!(
-            src.index() < self.ni_count && dst.index() < self.ni_count,
-            "NI out of range for this cache; rebuild it for the new topology"
-        );
-    }
-
-    fn pair_index(&self, src: NiId, dst: NiId) -> usize {
-        src.index() * self.ni_count + dst.index()
-    }
-
+impl Entry {
     fn materialize(topo: &Topology, paths: &[Path]) -> Vec<CachedRoute> {
         paths
             .iter()
@@ -139,78 +85,244 @@ impl RouteCache {
     }
 
     /// Runs the XY/YX stage if the entry is untouched.
-    fn ensure_initial(&mut self, topo: &Topology, src: NiId, dst: NiId, idx: usize) {
-        if self.entries[idx].state != EntryState::Untouched {
+    fn ensure_initial(&mut self, topo: &Topology, src: NiId, dst: NiId, max_paths: usize) {
+        if self.state != EntryState::Untouched {
             return;
         }
-        let (paths, complete) = initial_candidates(topo, src, dst, self.max_paths);
-        self.entries[idx] = Entry {
-            routes: Self::materialize(topo, &paths),
-            state: if complete {
-                EntryState::Complete
-            } else {
-                EntryState::Partial
-            },
+        let (paths, complete) = initial_candidates(topo, src, dst, max_paths);
+        self.routes = Self::materialize(topo, &paths);
+        self.state = if complete {
+            EntryState::Complete
+        } else {
+            EntryState::Partial
         };
     }
 
     /// Runs the DFS detour stage if it is still pending.
-    fn ensure_complete(&mut self, topo: &Topology, src: NiId, dst: NiId, idx: usize) {
-        self.ensure_initial(topo, src, dst, idx);
-        if self.entries[idx].state == EntryState::Complete {
+    fn ensure_complete(&mut self, topo: &Topology, src: NiId, dst: NiId, max_paths: usize) {
+        self.ensure_initial(topo, src, dst, max_paths);
+        if self.state == EntryState::Complete {
             return;
         }
-        let mut paths: Vec<Path> = self.entries[idx]
-            .routes
-            .iter()
-            .map(|r| r.path.clone())
-            .collect();
+        let mut paths: Vec<Path> = self.routes.iter().map(|r| r.path.clone()).collect();
         let prefix = paths.len();
-        detour_candidates(topo, src, dst, self.max_paths, &mut paths);
+        detour_candidates(topo, src, dst, max_paths, &mut paths);
         let tail = Self::materialize(topo, &paths[prefix..]);
-        let entry = &mut self.entries[idx];
-        entry.routes.extend(tail);
-        entry.state = EntryState::Complete;
+        self.routes.extend(tail);
+        self.state = EntryState::Complete;
     }
 
-    /// The `i`-th candidate route from `src` to `dst` (shortest first), or
-    /// `None` when fewer than `i + 1` candidates exist. Materializes the
-    /// expensive detour stage only when `i` walks past the XY/YX routes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `topo`'s shape differs from the topology the cache was
-    /// created for, or `src`/`dst` lie outside it (the cache must be
-    /// rebuilt when the topology changes).
-    pub fn candidate(
+    /// Serves index `i`, materializing the detour stage only when the
+    /// caller walks past the XY/YX prefix.
+    fn candidate(
         &mut self,
         topo: &Topology,
         src: NiId,
         dst: NiId,
+        max_paths: usize,
         i: usize,
     ) -> Option<&CachedRoute> {
-        self.check_topology(topo, src, dst);
-        let idx = self.pair_index(src, dst);
-        self.ensure_initial(topo, src, dst, idx);
-        if i >= self.entries[idx].routes.len() && self.entries[idx].state == EntryState::Partial {
-            self.ensure_complete(topo, src, dst, idx);
+        self.ensure_initial(topo, src, dst, max_paths);
+        if i >= self.routes.len() && self.state == EntryState::Partial {
+            self.ensure_complete(topo, src, dst, max_paths);
         }
-        self.entries[idx].routes.get(i)
+        self.routes.get(i)
     }
+}
+
+/// Shape snapshot of the topology a provider was built for, used to
+/// reject lookups against a different platform.
+#[derive(Debug, Clone, Copy)]
+struct Shape {
+    ni_count: usize,
+    router_count: usize,
+    link_count: usize,
+}
+
+impl Shape {
+    fn of(topo: &Topology) -> Self {
+        Shape {
+            ni_count: topo.ni_count(),
+            router_count: topo.router_count(),
+            link_count: topo.link_count(),
+        }
+    }
+
+    /// Cached routes are only valid for the topology the provider was
+    /// built for; reject anything whose shape (NI/router/link counts)
+    /// differs. A distinct topology with identical counts cannot be
+    /// detected — it is the caller's contract to keep one provider per
+    /// topology.
+    fn check(&self, topo: &Topology, src: NiId, dst: NiId) {
+        assert!(
+            topo.ni_count() == self.ni_count
+                && topo.router_count() == self.router_count
+                && topo.link_count() == self.link_count,
+            "topology shape changed; rebuild the route cache for it"
+        );
+        assert!(
+            src.index() < self.ni_count && dst.index() < self.ni_count,
+            "NI out of range for this cache; rebuild it for the new topology"
+        );
+    }
+}
+
+/// Memoized route enumeration per (source NI, destination NI) pair.
+///
+/// The allocator and every flow above it (reconfiguration, online churn,
+/// DSE) are generic over this trait; any implementation must return, for
+/// a given topology and `max_paths` bound, exactly the candidate sequence
+/// of [`route_candidates`](crate::path::route_candidates) — grants are
+/// then bit-for-bit independent of which provider served the routes.
+///
+/// Implementations are reusable across every pass, salt, and
+/// reconfiguration step that shares a topology and `max_paths` bound.
+pub trait RouteProvider: core::fmt::Debug + Send {
+    /// The `max_paths` bound this provider enumerates up to.
+    fn max_paths(&self) -> usize;
+
+    /// The `i`-th candidate route from `src` to `dst` (shortest first), or
+    /// `None` when fewer than `i + 1` candidates exist. Implementations
+    /// materialize the expensive detour stage only when `i` walks past
+    /// the XY/YX routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo`'s shape differs from the topology the provider
+    /// was created for, or `src`/`dst` lie outside it (the provider must
+    /// be rebuilt when the topology changes).
+    fn candidate(&mut self, topo: &Topology, src: NiId, dst: NiId, i: usize)
+        -> Option<&RouteEntry>;
 
     /// The full candidate list from `src` to `dst`, shortest first,
     /// computing and memoizing it on first use.
     ///
     /// # Panics
     ///
-    /// Panics if `topo`'s shape differs from the topology the cache was
-    /// created for, or `src`/`dst` lie outside it (the cache must be
-    /// rebuilt when the topology changes).
-    pub fn candidates(&mut self, topo: &Topology, src: NiId, dst: NiId) -> &[CachedRoute] {
-        self.check_topology(topo, src, dst);
-        let idx = self.pair_index(src, dst);
-        self.ensure_complete(topo, src, dst, idx);
-        &self.entries[idx].routes
+    /// Panics if `topo`'s shape differs from the topology the provider
+    /// was created for, or `src`/`dst` lie outside it.
+    fn candidates(&mut self, topo: &Topology, src: NiId, dst: NiId) -> &[RouteEntry];
+
+    /// How many (src, dst) pairs are resident — i.e. have been (at least
+    /// partially) computed and are holding memory.
+    fn resident_pairs(&self) -> usize;
+}
+
+/// The default route provider: a lazily-populated *hashed* cache whose
+/// resident memory is proportional to the pairs actually routed, not to
+/// `ni_count²`.
+///
+/// This is what every flow constructs unless a caller opts into
+/// [`DenseRouteCache`]: on mega-meshes (16×16–32×32, thousands of NIs)
+/// the ordered-pair space is tens of millions while real workloads route
+/// tens of thousands of pairs, and churn micro-bursts touch only a
+/// handful.
+///
+/// # Examples
+///
+/// ```
+/// use aelite_alloc::route_cache::{RouteCache, RouteProvider};
+/// use aelite_spec::ids::NiId;
+/// use aelite_spec::topology::Topology;
+///
+/// let topo = Topology::mesh(2, 2, 1);
+/// let mut cache = RouteCache::new(&topo, 4);
+/// let routes = cache.candidates(&topo, NiId::new(0), NiId::new(3));
+/// assert!(!routes.is_empty());
+/// assert_eq!(routes[0].links.len(), routes[0].path.link_count());
+/// assert_eq!(cache.resident_pairs(), 1); // only the pair we touched
+/// ```
+#[derive(Debug)]
+pub struct RouteCache {
+    max_paths: usize,
+    shape: Shape,
+    entries: HashMap<(u32, u32), Entry>,
+}
+
+impl RouteCache {
+    /// Creates an empty cache for `topo`, enumerating at most `max_paths`
+    /// candidates per pair. Allocates nothing up front: entries appear as
+    /// pairs are routed.
+    #[must_use]
+    pub fn new(topo: &Topology, max_paths: usize) -> Self {
+        RouteCache {
+            max_paths,
+            shape: Shape::of(topo),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// How many (src, dst) pairs have been (at least partially) computed.
+    #[must_use]
+    pub fn cached_pairs(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.state != EntryState::Untouched)
+            .count()
+    }
+
+    fn key(src: NiId, dst: NiId) -> (u32, u32) {
+        (src.index() as u32, dst.index() as u32)
+    }
+}
+
+impl RouteProvider for RouteCache {
+    fn max_paths(&self) -> usize {
+        self.max_paths
+    }
+
+    fn candidate(
+        &mut self,
+        topo: &Topology,
+        src: NiId,
+        dst: NiId,
+        i: usize,
+    ) -> Option<&RouteEntry> {
+        self.shape.check(topo, src, dst);
+        let entry = self.entries.entry(Self::key(src, dst)).or_default();
+        entry.candidate(topo, src, dst, self.max_paths, i)
+    }
+
+    fn candidates(&mut self, topo: &Topology, src: NiId, dst: NiId) -> &[RouteEntry] {
+        self.shape.check(topo, src, dst);
+        let entry = self.entries.entry(Self::key(src, dst)).or_default();
+        entry.ensure_complete(topo, src, dst, self.max_paths);
+        &entry.routes
+    }
+
+    fn resident_pairs(&self) -> usize {
+        self.cached_pairs()
+    }
+}
+
+/// A route provider backed by a flat `ni_count × ni_count` entry vector:
+/// O(1) unhashed lookup at the price of dense N² memory.
+///
+/// The right trade on small platforms (the paper's 4×3/48-NI mesh has
+/// 2304 pairs) where the allocator's inner loop dominates and the table
+/// is a few hundred KiB. On mega-meshes prefer [`RouteCache`], whose
+/// memory tracks the pairs actually routed.
+///
+/// Candidate sequences are bit-for-bit identical to [`RouteCache`]'s, so
+/// allocations (and their grants) do not depend on the provider choice.
+#[derive(Debug)]
+pub struct DenseRouteCache {
+    max_paths: usize,
+    shape: Shape,
+    entries: Vec<Entry>,
+}
+
+impl DenseRouteCache {
+    /// Creates an empty dense cache for `topo`, eagerly allocating
+    /// `ni_count²` (untouched) entries.
+    #[must_use]
+    pub fn new(topo: &Topology, max_paths: usize) -> Self {
+        let shape = Shape::of(topo);
+        DenseRouteCache {
+            max_paths,
+            shape,
+            entries: vec![Entry::default(); shape.ni_count * shape.ni_count],
+        }
     }
 
     /// How many (src, dst) pairs have been (at least partially) computed.
@@ -220,6 +332,41 @@ impl RouteCache {
             .iter()
             .filter(|e| e.state != EntryState::Untouched)
             .count()
+    }
+
+    fn pair_index(&self, src: NiId, dst: NiId) -> usize {
+        src.index() * self.shape.ni_count + dst.index()
+    }
+}
+
+impl RouteProvider for DenseRouteCache {
+    fn max_paths(&self) -> usize {
+        self.max_paths
+    }
+
+    fn candidate(
+        &mut self,
+        topo: &Topology,
+        src: NiId,
+        dst: NiId,
+        i: usize,
+    ) -> Option<&RouteEntry> {
+        self.shape.check(topo, src, dst);
+        let idx = self.pair_index(src, dst);
+        self.entries[idx].candidate(topo, src, dst, self.max_paths, i)
+    }
+
+    fn candidates(&mut self, topo: &Topology, src: NiId, dst: NiId) -> &[RouteEntry] {
+        self.shape.check(topo, src, dst);
+        let idx = self.pair_index(src, dst);
+        let max_paths = self.max_paths;
+        let entry = &mut self.entries[idx];
+        entry.ensure_complete(topo, src, dst, max_paths);
+        &entry.routes
+    }
+
+    fn resident_pairs(&self) -> usize {
+        self.cached_pairs()
     }
 }
 
@@ -232,15 +379,20 @@ mod tests {
     fn cache_returns_same_routes_as_direct_enumeration() {
         let topo = Topology::mesh(3, 3, 2);
         let mut cache = RouteCache::new(&topo, 8);
+        let mut dense = DenseRouteCache::new(&topo, 8);
         for src in 0..topo.ni_count() as u32 {
             for dst in 0..topo.ni_count() as u32 {
                 let (s, d) = (NiId::new(src), NiId::new(dst));
                 let direct = route_candidates(&topo, s, d, 8);
-                let cached = cache.candidates(&topo, s, d);
-                assert_eq!(cached.len(), direct.len(), "{s}->{d}");
-                for (c, p) in cached.iter().zip(&direct) {
-                    assert_eq!(&c.path, p, "{s}->{d}");
-                    assert_eq!(c.links, p.links(&topo).unwrap(), "{s}->{d}");
+                for (name, cached) in [
+                    ("hashed", cache.candidates(&topo, s, d)),
+                    ("dense", dense.candidates(&topo, s, d)),
+                ] {
+                    assert_eq!(cached.len(), direct.len(), "{name} {s}->{d}");
+                    for (c, p) in cached.iter().zip(&direct) {
+                        assert_eq!(&c.path, p, "{name} {s}->{d}");
+                        assert_eq!(c.links, p.links(&topo).unwrap(), "{name} {s}->{d}");
+                    }
                 }
             }
         }
@@ -249,19 +401,24 @@ mod tests {
     #[test]
     fn lazy_indexing_matches_eager_enumeration() {
         // Walking candidates one index at a time — including past the
-        // XY/YX prefix — yields exactly the eager list, in order.
+        // XY/YX prefix — yields exactly the eager list, in order, for
+        // both providers.
         let topo = Topology::mesh(4, 3, 2);
         for (src, dst) in [(0u32, 21u32), (2, 3), (5, 5), (0, 23)] {
             let (s, d) = (NiId::new(src), NiId::new(dst));
             let direct = route_candidates(&topo, s, d, 12);
-            let mut cache = RouteCache::new(&topo, 12);
-            let mut walked = Vec::new();
-            let mut i = 0;
-            while let Some(r) = cache.candidate(&topo, s, d, i) {
-                walked.push(r.path.clone());
-                i += 1;
+            let mut hashed = RouteCache::new(&topo, 12);
+            let mut dense = DenseRouteCache::new(&topo, 12);
+            let providers: [&mut dyn RouteProvider; 2] = [&mut hashed, &mut dense];
+            for p in providers {
+                let mut walked = Vec::new();
+                let mut i = 0;
+                while let Some(r) = p.candidate(&topo, s, d, i) {
+                    walked.push(r.path.clone());
+                    i += 1;
+                }
+                assert_eq!(walked, direct, "{s}->{d}");
             }
-            assert_eq!(walked, direct, "{s}->{d}");
         }
     }
 
@@ -274,11 +431,11 @@ mod tests {
         let (s, d) = (NiId::new(0), NiId::new(15));
         assert!(cache.candidate(&topo, s, d, 0).is_some());
         assert!(cache.candidate(&topo, s, d, 1).is_some());
-        let idx = cache.pair_index(s, d);
-        assert_eq!(cache.entries[idx].state, EntryState::Partial);
+        let key = RouteCache::key(s, d);
+        assert_eq!(cache.entries[&key].state, EntryState::Partial);
         // Walking past them forces the DFS stage.
         assert!(cache.candidate(&topo, s, d, 2).is_some());
-        assert_eq!(cache.entries[idx].state, EntryState::Complete);
+        assert_eq!(cache.entries[&key].state, EntryState::Complete);
     }
 
     #[test]
@@ -290,6 +447,35 @@ mod tests {
         assert_eq!(cache.cached_pairs(), 1);
         assert_eq!(cache.candidates(&topo, NiId::new(0), NiId::new(2)).len(), n);
         assert_eq!(cache.cached_pairs(), 1);
+    }
+
+    #[test]
+    fn hashed_cache_resident_pairs_track_touched_pairs_only() {
+        // The regression the lazy cache exists for: routing a handful of
+        // pairs on a big platform must not allocate entries for the N²
+        // pair space (the old dense-by-default cache allocated all
+        // 1024² = 1M entries up front here).
+        let topo = Topology::mesh(16, 16, 4);
+        let mut cache = RouteCache::new(&topo, 12);
+        assert_eq!(cache.resident_pairs(), 0, "construction is allocation-free");
+        let pairs = [(0u32, 1023u32), (17, 1000), (512, 513), (5, 5), (0, 1023)];
+        let mut distinct = std::collections::BTreeSet::new();
+        for (s, d) in pairs {
+            let _ = cache.candidates(&topo, NiId::new(s), NiId::new(d));
+            distinct.insert((s, d));
+        }
+        assert_eq!(cache.resident_pairs(), distinct.len());
+        assert!(cache.resident_pairs() <= pairs.len());
+    }
+
+    #[test]
+    fn dense_cache_is_eager_in_pair_space() {
+        // The documented trade of the dense provider: entry storage is
+        // allocated up front for every ordered pair.
+        let topo = Topology::mesh(2, 2, 2);
+        let dense = DenseRouteCache::new(&topo, 4);
+        assert_eq!(dense.entries.len(), 64); // 8 NIs → 64 ordered pairs
+        assert_eq!(dense.resident_pairs(), 0); // ...but none computed yet
     }
 
     #[test]
@@ -310,6 +496,15 @@ mod tests {
         let a = Topology::mesh(4, 4, 1);
         let b = Topology::mesh(2, 8, 1);
         let mut cache = RouteCache::new(&a, 4);
+        let _ = cache.candidates(&b, NiId::new(0), NiId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "topology shape changed")]
+    fn dense_rejects_changed_shape_too() {
+        let a = Topology::mesh(4, 4, 1);
+        let b = Topology::mesh(2, 8, 1);
+        let mut cache = DenseRouteCache::new(&a, 4);
         let _ = cache.candidates(&b, NiId::new(0), NiId::new(5));
     }
 }

@@ -1,7 +1,7 @@
 //! The parallel sweep engine: evaluate every grid point, deterministically.
 //!
 //! Workers pull point indices from a shared atomic cursor inside a
-//! [`std::thread::scope`]; each worker keeps its own [`RouteCache`] per
+//! [`std::thread::scope`]; each worker keeps its own route cache per
 //! topology shape, so every point sharing a mesh skips route enumeration
 //! after the worker's first visit. Determinism does not depend on the
 //! schedule: a point's result is a pure function of its coordinates (the
@@ -15,7 +15,7 @@
 use crate::grid::{DesignPoint, DseGrid};
 use crate::report::DseReport;
 use aelite_alloc::allocate::{admission_order, Allocation};
-use aelite_alloc::{Allocator, RouteCache};
+use aelite_alloc::{Allocator, RouteCache, RouteProvider};
 use aelite_dataflow::models::{predicted_flit_rate_per_us, wrapper_chain};
 use aelite_spec::app::SystemSpec;
 use aelite_spec::generate::try_random_workload;
@@ -99,7 +99,10 @@ pub struct PointResult {
 /// `max_paths` bound than this point's platform and the default
 /// [`Allocator`] use.
 #[must_use]
-pub fn evaluate_point(point: &DesignPoint, routes: &mut RouteCache) -> PointResult {
+pub fn evaluate_point<R: RouteProvider + ?Sized>(
+    point: &DesignPoint,
+    routes: &mut R,
+) -> PointResult {
     let topo = point.topology();
     let cfg = point.config();
     let params = point.workload_params();
@@ -182,10 +185,10 @@ pub fn evaluate_point(point: &DesignPoint, routes: &mut RouteCache) -> PointResu
 /// serve connections hardest-first (the batch flow's own order), one
 /// [`Allocator::extend_with_cache`] call each, keeping every success.
 /// Returns the partial allocation and the number of grants.
-pub(crate) fn admit_incrementally(
+pub(crate) fn admit_incrementally<R: RouteProvider + ?Sized>(
     allocator: &Allocator,
     spec: &SystemSpec,
-    routes: &mut RouteCache,
+    routes: &mut R,
 ) -> (Allocation, u32) {
     let mut order: Vec<ConnId> = spec.connections().iter().map(|c| c.id).collect();
     admission_order(spec, &mut order);

@@ -3,7 +3,9 @@
 //! and a batched admission round for independent request bursts.
 
 use crate::api::{AdmissionError, AdmissionRequest, AdmissionResponse, RefusalCause};
-use aelite_alloc::{AdmissionRound, AllocScratch, Allocation, Allocator, RouteCache};
+use aelite_alloc::{
+    AdmissionRound, AllocScratch, Allocation, Allocator, RouteCache, RouteProvider,
+};
 use aelite_spec::churn::ChurnOp;
 use aelite_spec::ids::ConnId;
 use aelite_spec::SystemSpec;
@@ -51,11 +53,13 @@ impl ChurnStats {
 /// A high-throughput online reconfiguration engine for one platform.
 ///
 /// The engine owns everything the admission hot path needs to be O(Δ)
-/// per request: the [`Allocator`] heuristic, a persistent [`RouteCache`]
-/// (each NI pair's candidate routes are enumerated at most once over the
-/// engine's lifetime) and an [`AllocScratch`] whose buffers — including
-/// recycled grants from earlier teardowns — make the steady-state
-/// open/close loop allocation-free.
+/// per request: the [`Allocator`] heuristic, a persistent
+/// [`RouteProvider`] (each NI pair's candidate routes are enumerated at
+/// most once over the engine's lifetime; the default is the lazy hashed
+/// [`RouteCache`], whose memory tracks the pairs actually routed) and an
+/// [`AllocScratch`] whose buffers — including recycled grants from
+/// earlier teardowns — make the steady-state open/close loop
+/// allocation-free.
 ///
 /// Every request is one [`AdmissionRequest`] serviced by
 /// [`submit`](Self::submit); [`open`](Self::open), [`close`](Self::close)
@@ -73,7 +77,7 @@ impl ChurnStats {
 #[derive(Debug)]
 pub struct ChurnEngine {
     allocator: Allocator,
-    routes: RouteCache,
+    routes: Box<dyn RouteProvider>,
     scratch: AllocScratch,
     /// Reusable admission-order buffer for use-case switches.
     order: Vec<ConnId>,
@@ -107,9 +111,30 @@ impl ChurnEngine {
     /// An engine for `spec`'s platform with a custom admission heuristic.
     #[must_use]
     pub fn with_allocator(spec: &SystemSpec, allocator: Allocator) -> Self {
+        let routes = Box::new(RouteCache::new(spec.topology(), allocator.max_paths));
+        ChurnEngine::with_route_provider(allocator, routes)
+    }
+
+    /// An engine using a caller-supplied [`RouteProvider`] — e.g. a
+    /// [`DenseRouteCache`](aelite_alloc::DenseRouteCache) on a small
+    /// platform, or a provider pre-warmed by an earlier flow. Admission
+    /// outcomes never depend on the provider choice, only lookup cost and
+    /// resident memory do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routes` was built with a different `max_paths` bound
+    /// than `allocator` uses.
+    #[must_use]
+    pub fn with_route_provider(allocator: Allocator, routes: Box<dyn RouteProvider>) -> Self {
+        assert_eq!(
+            routes.max_paths(),
+            allocator.max_paths,
+            "route provider was built for a different max_paths bound"
+        );
         ChurnEngine {
             allocator,
-            routes: RouteCache::new(spec.topology(), allocator.max_paths),
+            routes,
             scratch: AllocScratch::new(),
             order: Vec::new(),
             opened: Vec::new(),
@@ -117,6 +142,13 @@ impl ChurnEngine {
             serial_floor: SERIAL_FLOOR,
             stats: ChurnStats::default(),
         }
+    }
+
+    /// The engine's route provider (diagnostics: e.g. how many NI pairs
+    /// are resident in the cache).
+    #[must_use]
+    pub fn route_provider(&self) -> &dyn RouteProvider {
+        &*self.routes
     }
 
     /// Sets the burst-size floor below which
@@ -167,7 +199,7 @@ impl ChurnEngine {
         alloc: &mut Allocation,
         request: AdmissionRequest,
     ) -> Result<AdmissionResponse, AdmissionError> {
-        let round = self.allocator.begin_round(spec, alloc, &self.routes);
+        let round = self.allocator.begin_round(spec, alloc, &*self.routes);
         self.submit_in_round(&round, spec, alloc, &request)
     }
 
@@ -222,11 +254,11 @@ impl ChurnEngine {
             // request — bit-identical outcomes (a round carries no state
             // between requests), but no batch bookkeeping to amortise.
             for &i in &order {
-                let round = self.allocator.begin_round(spec, alloc, &self.routes);
+                let round = self.allocator.begin_round(spec, alloc, &*self.routes);
                 verdicts[i] = self.submit_in_round(&round, spec, alloc, &requests[i]);
             }
         } else {
-            let round = self.allocator.begin_round(spec, alloc, &self.routes);
+            let round = self.allocator.begin_round(spec, alloc, &*self.routes);
             for &i in &order {
                 verdicts[i] = self.submit_in_round(&round, spec, alloc, &requests[i]);
             }
@@ -262,7 +294,7 @@ impl ChurnEngine {
         let mut order = core::mem::take(&mut self.batch_order);
         canonical_order_of(spec, requests, bucket, &mut order);
         debug_assert_eq!(order.len(), bucket.len());
-        let round = self.allocator.begin_round(spec, alloc, &self.routes);
+        let round = self.allocator.begin_round(spec, alloc, &*self.routes);
         verdicts.reserve(order.len());
         for &i in &order {
             let verdict = self.submit_in_round(&round, spec, alloc, &requests[i]);
@@ -310,7 +342,7 @@ impl ChurnEngine {
             spec,
             alloc,
             conn,
-            &mut self.routes,
+            &mut *self.routes,
             &mut self.scratch,
         ) {
             Ok(()) => {
@@ -383,7 +415,7 @@ impl ChurnEngine {
                         spec,
                         alloc,
                         conn,
-                        &mut self.routes,
+                        &mut *self.routes,
                         &mut self.scratch,
                     )
                     .map_err(RefusalCause::from)
@@ -438,7 +470,7 @@ impl ChurnEngine {
         alloc: &mut Allocation,
         conn: ConnId,
     ) -> Result<(), AdmissionError> {
-        let round = self.allocator.begin_round(spec, alloc, &self.routes);
+        let round = self.allocator.begin_round(spec, alloc, &*self.routes);
         self.open_in_round(&round, spec, alloc, conn)
     }
 
@@ -477,7 +509,7 @@ impl ChurnEngine {
         close_set: &[ConnId],
         open_set: &[ConnId],
     ) -> Result<AdmissionResponse, AdmissionError> {
-        let round = self.allocator.begin_round(spec, alloc, &self.routes);
+        let round = self.allocator.begin_round(spec, alloc, &*self.routes);
         self.switch_in_round(&round, spec, alloc, close_set, open_set)
     }
 

@@ -12,7 +12,7 @@
 //! can be admitted on that shard's thread with *no coordination at
 //! all*, because the admission kernel only ever reads and writes the
 //! slot tables of its candidate routes' links ([`ShardMap`] classifies
-//! by the same [`RouteCache`] candidate enumeration the engines use, so
+//! by the same [`RouteProvider`] candidate enumeration the engines use, so
 //! the claim is structural, not probabilistic). Everything else —
 //! routes spanning regions, use-case switches naming connections homed
 //! on different shards, unknown connection ids — is **cross-shard** and
@@ -38,7 +38,7 @@
 
 use crate::api::{AdmissionError, AdmissionRequest, AdmissionResponse, RefusalCause};
 use crate::engine::{canonical_order_of, ChurnEngine, ChurnStats};
-use aelite_alloc::{Allocation, Allocator, RouteCache};
+use aelite_alloc::{Allocation, Allocator, RouteCache, RouteProvider};
 use aelite_spec::ids::{ConnId, LinkId};
 use aelite_spec::topology::Endpoint;
 use aelite_spec::SystemSpec;

@@ -103,9 +103,259 @@ impl WorkloadParams {
     }
 }
 
+impl WorkloadParams {
+    /// The lighter profile used by the thousand-connection scaled
+    /// benchmarks: log-uniform 10–100 MB/s, 300–3000 ns deadlines,
+    /// half-table link budget.
+    #[must_use]
+    pub fn scaled() -> Self {
+        WorkloadParams {
+            apps: 4,
+            connections: 1_000,
+            ips: 2,
+            bw_min_mb: 10,
+            bw_max_mb: 100,
+            lat_min_ns: 300,
+            lat_max_ns: 3000,
+            message_bytes: 64,
+            ni_load_cap: 0.5,
+        }
+    }
+
+    /// The mega-mesh profile for 16×16–32×32 platforms at 10k–100k
+    /// connections: same light bandwidths as [`scaled`](Self::scaled)
+    /// but with deadlines relaxed to 1000–10000 ns so that connections
+    /// crossing a large mesh (whose physical latency floor alone runs to
+    /// hundreds of ns) do not force slot-table-monopolising injection
+    /// gaps and get rejected by the feasibility filter.
+    #[must_use]
+    pub fn mega() -> Self {
+        WorkloadParams {
+            lat_min_ns: 1_000,
+            lat_max_ns: 10_000,
+            ..WorkloadParams::scaled()
+        }
+    }
+}
+
 impl Default for WorkloadParams {
     fn default() -> Self {
         WorkloadParams::paper()
+    }
+}
+
+/// One entry point for every random workload in the repo: the paper's
+/// Section VII platform, the scaled benchmark meshes and the mega-mesh
+/// (16×16–32×32, 10k–100k connection) regime are all points in this
+/// builder's parameter space, so new configurations no longer need a new
+/// ad-hoc constructor signature.
+///
+/// Construct with [`WorkloadBuilder::mesh`], adjust knobs, then call
+/// [`build`](Self::build) (panicking) or [`try_build`](Self::try_build)
+/// (error-reporting). The builder funnels into the same
+/// [`try_random_workload_with`] core as the historical constructors, so
+/// for equal parameters the random draw sequence — and therefore every
+/// pinned golden workload — is bit-identical.
+///
+/// # Examples
+///
+/// The paper's platform, via the builder:
+///
+/// ```
+/// use aelite_spec::generate::{paper_workload, WorkloadBuilder, WorkloadParams};
+///
+/// let built = WorkloadBuilder::mesh(4, 3, 4)
+///     .params(WorkloadParams::paper())
+///     .seed(42)
+///     .build();
+/// assert_eq!(built.connections(), paper_workload(42).connections());
+/// ```
+///
+/// A mega-mesh regional workload:
+///
+/// ```no_run
+/// use aelite_spec::generate::WorkloadBuilder;
+///
+/// let spec = WorkloadBuilder::mesh(16, 16, 4)
+///     .mega_traffic()
+///     .connections(10_000)
+///     .tiles(8, 8)
+///     .seed(7)
+///     .build();
+/// assert_eq!(spec.connections().len(), 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    cols: u32,
+    rows: u32,
+    nis_per_router: u32,
+    config: NocConfig,
+    params: WorkloadParams,
+    ips: Option<u32>,
+    locality: Option<(u32, u32)>,
+    seed: u64,
+}
+
+impl WorkloadBuilder {
+    /// Starts a workload on a `cols × rows` mesh with `nis_per_router`
+    /// NIs per router, the paper's NoC configuration, the
+    /// [`WorkloadParams::scaled`] traffic profile, one IP per NI, no
+    /// locality constraint, and seed 0.
+    #[must_use]
+    pub fn mesh(cols: u32, rows: u32, nis_per_router: u32) -> Self {
+        WorkloadBuilder {
+            cols,
+            rows,
+            nis_per_router,
+            config: NocConfig::paper_default(),
+            params: WorkloadParams::scaled(),
+            ips: None,
+            locality: None,
+            seed: 0,
+        }
+    }
+
+    /// Replaces the whole traffic-parameter block (IP count included —
+    /// subsequent [`ips`](Self::ips)/[`connections`](Self::connections)
+    /// calls still override individual fields).
+    #[must_use]
+    pub fn params(mut self, params: WorkloadParams) -> Self {
+        self.ips = Some(params.ips);
+        self.params = params;
+        self
+    }
+
+    /// Switches to the [`WorkloadParams::mega`] traffic profile
+    /// (mega-mesh deadlines; keeps the connection count and any explicit
+    /// IP count already set).
+    #[must_use]
+    pub fn mega_traffic(mut self) -> Self {
+        let connections = self.params.connections;
+        self.params = WorkloadParams {
+            connections,
+            ..WorkloadParams::mega()
+        };
+        self
+    }
+
+    /// Sets the number of connections to draw.
+    #[must_use]
+    pub fn connections(mut self, connections: u32) -> Self {
+        self.params.connections = connections;
+        self
+    }
+
+    /// Sets the number of IP cores (default: one per NI).
+    #[must_use]
+    pub fn ips(mut self, ips: u32) -> Self {
+        self.ips = Some(ips);
+        self
+    }
+
+    /// Sets the number of applications the connections divide across.
+    #[must_use]
+    pub fn apps(mut self, apps: u32) -> Self {
+        self.params.apps = apps;
+        self
+    }
+
+    /// Sets the contracted-bandwidth range in MB/s (log-uniform draw).
+    #[must_use]
+    pub fn bandwidth_mb(mut self, min: u64, max: u64) -> Self {
+        self.params.bw_min_mb = min;
+        self.params.bw_max_mb = max;
+        self
+    }
+
+    /// Sets the latency-requirement range in ns.
+    #[must_use]
+    pub fn latency_ns(mut self, min: u64, max: u64) -> Self {
+        self.params.lat_min_ns = min;
+        self.params.lat_max_ns = max;
+        self
+    }
+
+    /// Sets the message size used by the traffic generators, in bytes.
+    #[must_use]
+    pub fn message_bytes(mut self, bytes: u32) -> Self {
+        self.params.message_bytes = bytes;
+        self
+    }
+
+    /// Sets the fraction of each link's slot table the draw may commit.
+    #[must_use]
+    pub fn ni_load_cap(mut self, cap: f64) -> Self {
+        self.params.ni_load_cap = cap;
+        self
+    }
+
+    /// Constrains every connection to one tile of a `tiles_x × tiles_y`
+    /// tiling of the router grid (regional locality — the shape the
+    /// sharded admission engine and the mega-mesh regime scale on).
+    #[must_use]
+    pub fn tiles(mut self, tiles_x: u32, tiles_y: u32) -> Self {
+        self.locality = Some((tiles_x, tiles_y));
+        self
+    }
+
+    /// Replaces the NoC configuration (slot table size, flit width, …).
+    #[must_use]
+    pub fn config(mut self, config: NocConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides just the TDM slot-table size of the configuration —
+    /// large meshes with many connections per link need the headroom of
+    /// a bigger table.
+    #[must_use]
+    pub fn slot_table_size(mut self, slots: u32) -> Self {
+        self.config.slot_table_size = slots;
+        self
+    }
+
+    /// Sets the random seed (workloads are deterministic per seed).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The parameters the build will use (IP count resolved).
+    fn resolved(&self) -> (Topology, WorkloadParams) {
+        let topo = Topology::mesh(self.cols, self.rows, self.nis_per_router);
+        let ips = self.ips.unwrap_or((topo.ni_count() as u32).max(2));
+        let params = WorkloadParams { ips, ..self.params };
+        (topo, params)
+    }
+
+    /// Builds the workload, panicking on parameter errors or an
+    /// infeasible draw (use [`try_build`](Self::try_build) to observe
+    /// infeasibility as data).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`try_random_workload_with`], or when the draw is
+    /// infeasible.
+    #[must_use]
+    pub fn build(self) -> SystemSpec {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the workload, reporting an infeasible draw as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InfeasibleDraw`] as
+    /// [`try_random_workload_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter errors that no retry can fix (fewer than 2
+    /// IPs, zero connections/apps, invalid ranges).
+    pub fn try_build(self) -> Result<SystemSpec, WorkloadError> {
+        let (topo, params) = self.resolved();
+        try_random_workload_with(topo, self.config, params, self.seed, self.locality)
     }
 }
 
@@ -125,15 +375,14 @@ impl Default for WorkloadParams {
 /// assert_eq!(spec.apps().len(), 4);
 /// assert_eq!(spec.topology().router_count(), 12);
 /// ```
+/// Thin wrapper over [`WorkloadBuilder`] (kept for the many existing
+/// call sites; prefer the builder in new code).
 #[must_use]
 pub fn paper_workload(seed: u64) -> SystemSpec {
-    let topo = Topology::mesh(4, 3, 4);
-    random_workload(
-        topo,
-        NocConfig::paper_default(),
-        WorkloadParams::paper(),
-        seed,
-    )
+    WorkloadBuilder::mesh(4, 3, 4)
+        .params(WorkloadParams::paper())
+        .seed(seed)
+        .build()
 }
 
 /// Generates a synthetic scaled-up workload on a `cols × rows` mesh with
@@ -151,6 +400,9 @@ pub fn paper_workload(seed: u64) -> SystemSpec {
 /// # Panics
 ///
 /// Panics as [`random_workload`] (fewer than 2 IPs, zero connections).
+/// Thin wrapper over [`WorkloadBuilder`] (kept for the many existing
+/// call sites; prefer the builder in new code — mega-mesh configs use
+/// [`WorkloadBuilder::mega_traffic`] rather than a fourth signature).
 #[must_use]
 pub fn scaled_workload(
     cols: u32,
@@ -159,20 +411,10 @@ pub fn scaled_workload(
     connections: u32,
     seed: u64,
 ) -> SystemSpec {
-    let topo = Topology::mesh(cols, rows, nis_per_router);
-    let ips = (topo.ni_count() as u32).max(2);
-    let params = WorkloadParams {
-        apps: 4,
-        connections,
-        ips,
-        bw_min_mb: 10,
-        bw_max_mb: 100,
-        lat_min_ns: 300,
-        lat_max_ns: 3000,
-        message_bytes: 64,
-        ni_load_cap: 0.5,
-    };
-    random_workload(topo, NocConfig::paper_default(), params, seed)
+    WorkloadBuilder::mesh(cols, rows, nis_per_router)
+        .connections(connections)
+        .seed(seed)
+        .build()
 }
 
 /// [`scaled_workload`] with **regional locality**: the router grid is
@@ -189,6 +431,9 @@ pub fn scaled_workload(
 ///
 /// Panics as [`random_workload`], or if a tile ends up with fewer than
 /// two IPs (no intra-tile pair can be drawn).
+/// Thin wrapper over [`WorkloadBuilder`] (kept for the many existing
+/// call sites; prefer the builder in new code — mega-mesh configs use
+/// [`WorkloadBuilder::mega_traffic`] rather than a fourth signature).
 #[must_use]
 pub fn regional_workload(
     cols: u32,
@@ -199,27 +444,11 @@ pub fn regional_workload(
     tiles_x: u32,
     tiles_y: u32,
 ) -> SystemSpec {
-    let topo = Topology::mesh(cols, rows, nis_per_router);
-    let ips = (topo.ni_count() as u32).max(2);
-    let params = WorkloadParams {
-        apps: 4,
-        connections,
-        ips,
-        bw_min_mb: 10,
-        bw_max_mb: 100,
-        lat_min_ns: 300,
-        lat_max_ns: 3000,
-        message_bytes: 64,
-        ni_load_cap: 0.5,
-    };
-    try_random_workload_with(
-        topo,
-        NocConfig::paper_default(),
-        params,
-        seed,
-        Some((tiles_x, tiles_y)),
-    )
-    .unwrap_or_else(|e| panic!("{e}"))
+    WorkloadBuilder::mesh(cols, rows, nis_per_router)
+        .connections(connections)
+        .tiles(tiles_x, tiles_y)
+        .seed(seed)
+        .build()
 }
 
 /// Generates a random workload on an arbitrary platform.
@@ -608,6 +837,66 @@ mod tests {
         // Deterministic per seed.
         let again = scaled_workload(4, 4, 4, 500, 1);
         assert_eq!(spec.connections(), again.connections());
+    }
+
+    #[test]
+    fn builder_reproduces_every_legacy_constructor_bit_for_bit() {
+        let paper = WorkloadBuilder::mesh(4, 3, 4)
+            .params(WorkloadParams::paper())
+            .seed(42)
+            .build();
+        assert_eq!(paper.connections(), paper_workload(42).connections());
+
+        let scaled = WorkloadBuilder::mesh(4, 4, 4)
+            .connections(500)
+            .seed(9)
+            .build();
+        assert_eq!(
+            scaled.connections(),
+            scaled_workload(4, 4, 4, 500, 9).connections()
+        );
+
+        let regional = WorkloadBuilder::mesh(4, 4, 4)
+            .connections(400)
+            .tiles(2, 2)
+            .seed(9)
+            .build();
+        assert_eq!(
+            regional.connections(),
+            regional_workload(4, 4, 4, 400, 9, 2, 2).connections()
+        );
+    }
+
+    #[test]
+    fn builder_knobs_land_in_the_spec() {
+        let spec = WorkloadBuilder::mesh(3, 3, 2)
+            .mega_traffic()
+            .connections(50)
+            .apps(2)
+            .ips(10)
+            .bandwidth_mb(5, 50)
+            .message_bytes(32)
+            .slot_table_size(64)
+            .seed(5)
+            .build();
+        assert_eq!(spec.connections().len(), 50);
+        assert_eq!(spec.apps().len(), 2);
+        assert_eq!(spec.ip_count(), 10);
+        assert_eq!(spec.config().slot_table_size, 64);
+        for c in spec.connections() {
+            let mb = c.bandwidth.mbytes_per_sec_f64();
+            assert!((5.0..=50.0).contains(&mb), "{mb} MB/s out of range");
+            assert!(c.max_latency_ns >= 1_000, "{}", c.max_latency_ns);
+        }
+    }
+
+    #[test]
+    fn mega_profile_relaxes_deadlines_only() {
+        let s = WorkloadParams::scaled();
+        let m = WorkloadParams::mega();
+        assert_eq!((m.lat_min_ns, m.lat_max_ns), (1_000, 10_000));
+        assert_eq!((m.bw_min_mb, m.bw_max_mb), (s.bw_min_mb, s.bw_max_mb));
+        assert_eq!(m.ni_load_cap, s.ni_load_cap);
     }
 
     #[test]

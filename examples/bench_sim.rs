@@ -16,13 +16,29 @@
 //! The two must agree bit-for-bit; this binary re-asserts the delivery
 //! equivalence on every measured run before trusting the timing.
 //!
-//! Run with `cargo run --release --example bench_sim`.
+//! A second, **scaling-curve** section tracks the mega-mesh regime:
+//! regional workloads from 8×8/2.5k up to 32×32/30k connections run
+//! through the turbo kernel alone — the event engine is the golden
+//! reference at the sizes where running it is tractable (the rows
+//! above, plus the equivalence suite in `tests/turbo_golden.rs`), while
+//! the curve records how compiled-simulation throughput scales with
+//! platform size.
+//!
+//! Run with `cargo run --release --example bench_sim`. Modes:
+//!
+//! * (no args) — measure everything, write `BENCH_SIM.json`, assert the
+//!   speedup and scaling gates;
+//! * `--scaling` — CI smoke: only the smallest and one mid-size curve
+//!   point, written to `BENCH_SIM_SCALING_SMOKE.json` (the committed
+//!   `BENCH_SIM.json` is left untouched);
+//! * `--check` — no measurement: re-validate the gates against the
+//!   committed `BENCH_SIM.json`.
 
 use aelite_alloc::allocate;
 use aelite_noc::network::{build_network, NetworkKind};
 use aelite_noc::turbo::build_turbo;
 use aelite_spec::app::SystemSpec;
-use aelite_spec::generate::{paper_workload, scaled_workload};
+use aelite_spec::generate::{paper_workload, scaled_workload, WorkloadBuilder};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -108,7 +124,193 @@ fn measure(
     row
 }
 
+struct ScalingRow {
+    name: String,
+    mesh: u32,
+    connections: usize,
+    cycles: u64,
+    flits: u64,
+    turbo_mcps: f64,
+}
+
+/// The scaling curve's workload at one mesh size — the same regional
+/// mega-profile shape as `bench_alloc`'s curve.
+fn mega_spec(n: u32, connections: u32) -> SystemSpec {
+    WorkloadBuilder::mesh(n, n, 4)
+        .mega_traffic()
+        .connections(connections)
+        .tiles(n / 2, n / 2)
+        .seed(1)
+        .build()
+}
+
+fn measure_scaling(n: u32, connections: u32, cycles: u64, reps: u32) -> ScalingRow {
+    let spec = mega_spec(n, connections);
+    let alloc = allocate(&spec).expect("mega-mesh workload allocates");
+    let mut probe = build_turbo(&spec, &alloc, NetworkKind::Synchronous, true);
+    probe.run_cycles(cycles);
+    let flits: u64 = spec
+        .connections()
+        .iter()
+        .map(|c| probe.log(c.id).borrow().len() as u64)
+        .sum();
+    assert!(flits > 0, "mesh{n}x{n}: nothing delivered");
+    let turbo_s = best_secs(reps, || {
+        let mut net = build_turbo(&spec, &alloc, NetworkKind::Synchronous, true);
+        net.run_cycles(cycles);
+        std::hint::black_box(&net);
+    });
+    let row = ScalingRow {
+        name: format!("mesh{n}x{n}_{connections}"),
+        mesh: n,
+        connections: spec.connections().len(),
+        cycles,
+        flits,
+        turbo_mcps: cycles as f64 / turbo_s / 1e6,
+    };
+    println!(
+        "{:>15}: turbo {:8.3} Mcycles/s | {} flits in {} cycles",
+        row.name, row.turbo_mcps, row.flits, row.cycles,
+    );
+    row
+}
+
+fn scaling_json(rows: &[ScalingRow]) -> String {
+    let mut json = String::new();
+    json.push_str("  \"scaling\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", r.name).unwrap();
+        writeln!(
+            json,
+            "      \"platform\": \"{0}x{0} mesh, 4 NIs/router, regional mega-profile\",",
+            r.mesh
+        )
+        .unwrap();
+        writeln!(json, "      \"connections\": {},", r.connections).unwrap();
+        writeln!(json, "      \"simulated_cycles\": {},", r.cycles).unwrap();
+        writeln!(json, "      \"flits_delivered\": {},", r.flits).unwrap();
+        writeln!(
+            json,
+            "      \"turbo_mcycles_per_sec\": {:.3},",
+            r.turbo_mcps
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"turbo_flits_per_sec\": {:.0}",
+            r.flits as f64 * r.turbo_mcps * 1e6 / r.cycles as f64
+        )
+        .unwrap();
+        write!(
+            json,
+            "    }}{}",
+            if i + 1 < rows.len() { ",\n" } else { "\n" }
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n");
+    json
+}
+
+/// The scaling gate: the largest curve point (32×32) must simulate at
+/// this rate or better. Simulated cycles get more expensive as the
+/// platform grows (one decision per NI per slot: work per cycle is
+/// O(NIs)), so the per-point floor is set for 4096 NIs at 30k
+/// connections — recorded headroom is several-fold; the delivered-flit
+/// rate at that point runs in the millions per second.
+const SCALING_GATE_MCYCLES_PER_SEC: f64 = 0.005;
+
+/// Minimal field scanner for the committed JSON (`--check` mode); same
+/// shape as `bench_alloc`'s.
+fn scan_rows(text: &str) -> Vec<std::collections::HashMap<String, String>> {
+    let mut rows = Vec::new();
+    let mut cur: Option<std::collections::HashMap<String, String>> = None;
+    for line in text.lines() {
+        let t = line.trim();
+        if t == "{" {
+            cur = Some(std::collections::HashMap::new());
+        } else if t.starts_with('}') {
+            if let Some(row) = cur.take() {
+                rows.push(row);
+            }
+        } else if let Some(row) = &mut cur {
+            if let Some((k, v)) = t.split_once(':') {
+                let k = k.trim().trim_matches('"').to_string();
+                let v = v.trim().trim_end_matches(',').trim_matches('"').to_string();
+                row.insert(k, v);
+            }
+        }
+    }
+    rows
+}
+
+fn field_f64(row: &std::collections::HashMap<String, String>, key: &str) -> f64 {
+    row.get(key)
+        .unwrap_or_else(|| panic!("committed JSON row missing {key}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("committed JSON field {key} unparsable: {e}"))
+}
+
+/// `--check`: re-assert every gate against the committed JSON.
+fn check_committed() {
+    let text = std::fs::read_to_string("BENCH_SIM.json").expect("read BENCH_SIM.json");
+    let rows = scan_rows(&text);
+    let speedup_of = |name: &str| {
+        let row = rows
+            .iter()
+            .find(|r| r.get("name").map(String::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("committed JSON lacks the {name} row"));
+        field_f64(row, "turbo_speedup_vs_event")
+    };
+    let sync = speedup_of("paper_sync");
+    let meso = speedup_of("paper_meso");
+    assert!(
+        sync >= 5.0 && meso >= 5.0,
+        "committed paper-platform speedup below 5x: sync {sync:.2}x, meso {meso:.2}x"
+    );
+    let largest = rows
+        .iter()
+        .filter(|r| r.contains_key("turbo_mcycles_per_sec") && !r.contains_key("kind"))
+        .max_by_key(|r| field_f64(r, "connections") as u64)
+        .expect("committed JSON lacks a scaling section");
+    let rate = field_f64(largest, "turbo_mcycles_per_sec");
+    assert!(
+        rate >= SCALING_GATE_MCYCLES_PER_SEC,
+        "committed scaling gate below {SCALING_GATE_MCYCLES_PER_SEC} Mcycles/s: {rate:.3}"
+    );
+    println!(
+        "BENCH_SIM.json gates hold: paper {sync:.2}x/{meso:.2}x, \
+         largest scaling point {rate:.3} Mcycles/s"
+    );
+}
+
+/// `--scaling`: CI smoke — smallest + one mid-size point, separate
+/// artifact, committed JSON untouched.
+fn scaling_smoke() {
+    println!("simulator scaling smoke (smallest + mid-size curve points)");
+    let rows = [
+        measure_scaling(8, 2_500, 2_000, 2),
+        measure_scaling(16, 10_000, 2_000, 2),
+    ];
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"aelite-bench-sim-scaling-smoke/1\",\n");
+    json.push_str("  \"generated_by\": \"examples/bench_sim.rs --scaling\",\n");
+    json.push_str(&scaling_json(&rows));
+    json.push_str("}\n");
+    std::fs::write("BENCH_SIM_SCALING_SMOKE.json", &json)
+        .expect("write BENCH_SIM_SCALING_SMOKE.json");
+    println!("\nwrote BENCH_SIM_SCALING_SMOKE.json");
+}
+
 fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("--check") => return check_committed(),
+        Some("--scaling") => return scaling_smoke(),
+        Some(other) => panic!("unknown mode {other}; use --check or --scaling"),
+        None => {}
+    }
     println!("simulator throughput (simulated Mcycles/s; speedup = turbo vs event)");
     let paper = paper_workload(42);
     let paper_meso = paper.with_link_pipeline_stages(1, 1);
@@ -150,9 +352,17 @@ fn main() {
         ),
     ];
 
+    println!("\nmega-mesh scaling curve (regional mega-profile, turbo kernel)");
+    let scaling = [
+        measure_scaling(8, 2_500, 10_000, 3),
+        measure_scaling(16, 10_000, 5_000, 3),
+        measure_scaling(24, 20_000, 5_000, 2),
+        measure_scaling(32, 30_000, 5_000, 2),
+    ];
+
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"aelite-bench-sim/1\",\n");
+    json.push_str("  \"schema\": \"aelite-bench-sim/2\",\n");
     json.push_str("  \"generated_by\": \"examples/bench_sim.rs\",\n");
     json.push_str(
         "  \"note\": \"event = event-driven Simulator (BinaryHeap edge discovery, dyn Module \
@@ -194,7 +404,9 @@ fn main() {
         )
         .unwrap();
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&scaling_json(&scaling));
+    json.push_str("}\n");
 
     std::fs::write("BENCH_SIM.json", &json).expect("write BENCH_SIM.json");
     println!("\nwrote BENCH_SIM.json");
@@ -211,5 +423,15 @@ fn main() {
         sync_speedup >= 5.0 && meso_speedup >= 5.0,
         "paper-platform turbo speedup regressed below 5x: sync {sync_speedup:.2}x, \
          meso {meso_speedup:.2}x"
+    );
+
+    // The mega-mesh scaling gate: the largest curve point (32x32, 30k
+    // connections) must keep simulating at rate.
+    let largest = scaling.last().unwrap();
+    assert!(
+        largest.turbo_mcps >= SCALING_GATE_MCYCLES_PER_SEC,
+        "{} turbo throughput regressed below {SCALING_GATE_MCYCLES_PER_SEC} Mcycles/s: {:.3}",
+        largest.name,
+        largest.turbo_mcps
     );
 }

@@ -1,0 +1,69 @@
+//! Mega-mesh golden pins: on a 16×16 mesh with 10k connections, the
+//! lazy hashed [`RouteCache`] and the eager [`DenseRouteCache`] must
+//! yield **bit-for-bit identical grants** — the allocator's decisions
+//! derive solely from the free-mask kernels and the candidate sequence,
+//! and both providers enumerate the same candidates in the same order —
+//! and the lazy cache's memory must track the pairs actually routed,
+//! not the `ni_count²` pair space.
+
+use aelite_alloc::allocate::Allocator;
+use aelite_alloc::{DenseRouteCache, RouteCache, RouteProvider};
+use aelite_spec::generate::WorkloadBuilder;
+use std::collections::HashSet;
+
+#[test]
+fn grants_identical_under_lazy_and_dense_route_providers_at_16x16_10k() {
+    let spec = WorkloadBuilder::mesh(16, 16, 4)
+        .mega_traffic()
+        .connections(10_000)
+        .tiles(8, 8)
+        .seed(1)
+        .build();
+    assert_eq!(spec.connections().len(), 10_000);
+    assert_eq!(spec.topology().ni_count(), 1024);
+
+    let allocator = Allocator::new();
+    let mut lazy = RouteCache::new(spec.topology(), allocator.max_paths);
+    let mut dense = DenseRouteCache::new(spec.topology(), allocator.max_paths);
+
+    let a_lazy = allocator
+        .allocate_with_cache(&spec, &mut lazy)
+        .expect("16x16/10k regional workload allocates (lazy provider)");
+    let a_dense = allocator
+        .allocate_with_cache(&spec, &mut dense)
+        .expect("16x16/10k regional workload allocates (dense provider)");
+
+    for c in spec.connections() {
+        assert_eq!(
+            a_lazy.grant(c.id).expect("granted"),
+            a_dense.grant(c.id).expect("granted"),
+            "grant of {} diverged between route providers",
+            c.id
+        );
+    }
+
+    // Regression for the old eager ni_count² allocation: the lazy
+    // cache's resident entries are bounded by the distinct NI pairs the
+    // workload can possibly route — a tiny fraction of the pair space.
+    let pairs: HashSet<(usize, usize)> = spec
+        .connections()
+        .iter()
+        .map(|c| (spec.ip_ni(c.src).index(), spec.ip_ni(c.dst).index()))
+        .collect();
+    assert!(
+        lazy.resident_pairs() <= pairs.len(),
+        "lazy cache holds {} entries for {} routed pairs",
+        lazy.resident_pairs(),
+        pairs.len()
+    );
+    let pair_space = spec.topology().ni_count() * spec.topology().ni_count();
+    assert!(
+        lazy.resident_pairs() * 10 < pair_space,
+        "lazy cache ({} entries) is not sparse in the {} pair space",
+        lazy.resident_pairs(),
+        pair_space
+    );
+
+    aelite_alloc::validate_allocation(&spec, &a_lazy)
+        .expect("mega-mesh allocation is contention-free");
+}
