@@ -106,6 +106,40 @@ impl Allocation {
         Some(grant)
     }
 
+    /// Removes the grant of `conn` from the grant map while **leaving
+    /// its slot reservations in place** — the first half of a
+    /// make-before-break re-route.
+    ///
+    /// The detached grant still owns its table entries, so a replacement
+    /// admission for the same connection cannot collide with the old
+    /// path's slots (the tables report them reserved). Callers must
+    /// eventually pass the returned grant to
+    /// [`release_reservations_of`](Allocation::release_reservations_of)
+    /// — either after the replacement is committed (make-before-break)
+    /// or before a retry (break-then-make) — or the slots leak.
+    pub fn detach_grant(&mut self, conn: ConnId) -> Option<Grant> {
+        self.grants.get_mut(conn.index()).and_then(Option::take)
+    }
+
+    /// Releases the slot reservations of a grant previously removed by
+    /// [`detach_grant`](Allocation::detach_grant) — the second half of a
+    /// make-before-break re-route.
+    ///
+    /// Identical to the release loop of
+    /// [`take_grant`](Allocation::take_grant), but operating on a grant
+    /// the allocation no longer owns. The grant must have been detached
+    /// from *this* allocation: releasing someone else's reservations
+    /// trips the same out-of-sync debug assertion as a double teardown.
+    pub fn release_reservations_of(&mut self, grant: &Grant) {
+        for (i, &l) in grant.links.iter().enumerate() {
+            let table = &mut self.link_tables[l.index()];
+            for &s in &grant.inject_slots {
+                let prev = table.release(s + i as u32 * self.slots_per_hop);
+                debug_assert_eq!(prev, Some(grant.conn), "table out of sync with grant");
+            }
+        }
+    }
+
     /// Asserts `spec` describes the platform this allocation was built
     /// for: same slot-table size *and* per-hop slot shift. A grant
     /// reserved under one shift must never be torn down under another —
@@ -375,6 +409,15 @@ pub enum AllocError {
         /// The best achievable worst-case latency, in nanoseconds.
         best_ns: u64,
     },
+    /// The pair is routable in the topology, but every candidate route
+    /// traverses a failed link of the provider's
+    /// [`FaultMask`](crate::route_cache::FaultMask).
+    LinkDown {
+        /// The severed connection.
+        conn: ConnId,
+        /// One blocking down link (the first on the shortest route).
+        link: LinkId,
+    },
 }
 
 impl fmt::Display for AllocError {
@@ -396,6 +439,10 @@ impl fmt::Display for AllocError {
             } => write!(
                 f,
                 "{conn} requires {required_ns} ns but the best achievable bound is {best_ns} ns"
+            ),
+            AllocError::LinkDown { conn, link } => write!(
+                f,
+                "{conn} is severed: every candidate route traverses down link {link}"
             ),
         }
     }
@@ -578,11 +625,13 @@ impl Allocator {
                         let failed = match &e {
                             AllocError::NoRoute { conn }
                             | AllocError::InsufficientSlots { conn, .. }
-                            | AllocError::LatencyUnmet { conn, .. } => *conn,
+                            | AllocError::LatencyUnmet { conn, .. }
+                            | AllocError::LinkDown { conn, .. } => *conn,
                         };
-                        let give_up = matches!(e, AllocError::NoRoute { .. })
-                            || promoted.contains(&failed)
-                            || promoted.len() >= 8;
+                        let give_up =
+                            matches!(e, AllocError::NoRoute { .. } | AllocError::LinkDown { .. })
+                                || promoted.contains(&failed)
+                                || promoted.len() >= 8;
                         last_err = Some(e);
                         if give_up {
                             break;
@@ -909,6 +958,9 @@ impl Allocator {
         }
 
         if tried == 0 {
+            if let Some(link) = routes.blocking_fault(spec.topology(), src_ni, dst_ni) {
+                return Err(AllocError::LinkDown { conn, link });
+            }
             return Err(AllocError::NoRoute { conn });
         }
         if best_available < needed {

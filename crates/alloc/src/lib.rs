@@ -48,6 +48,8 @@ pub use allocate::{
 pub use mask::SlotMask;
 pub use path::{dimension_ordered, route_candidates, Path, PathError};
 pub use reconfigure::release;
-pub use route_cache::{CachedRoute, DenseRouteCache, RouteCache, RouteEntry, RouteProvider};
+pub use route_cache::{
+    CachedRoute, DenseRouteCache, FaultMask, RouteCache, RouteEntry, RouteProvider,
+};
 pub use table::{gaps, worst_window, SlotTable};
 pub use validate::{validate as validate_allocation, Violation};

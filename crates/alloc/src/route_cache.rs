@@ -29,11 +29,101 @@
 //! candidate, which under light contention is almost always XY or YX, so
 //! most pairs never pay for the DFS at all — while the candidate
 //! *sequence* observed by callers is identical to an eager enumeration.
+//!
+//! Providers also carry a [`FaultMask`] of failed links (empty by
+//! default): under a non-empty mask every candidate traversing a down
+//! link is skipped, and installing a mask evicts resident entries that
+//! touch a newly-down link, so a stale path over a failed link can never
+//! be served. With an empty mask the lookup path is bit-for-bit the
+//! unmasked one.
 
 use crate::path::{detour_candidates, initial_candidates, Path};
 use aelite_spec::ids::{LinkId, NiId};
 use aelite_spec::topology::Topology;
 use std::collections::HashMap;
+
+/// A set of failed (down) links, indexed by link id — the routing side of
+/// the fault model.
+///
+/// Installed into a [`RouteProvider`] via
+/// [`set_faults`](RouteProvider::set_faults), after which candidates
+/// traversing a down link are skipped. The mask is a plain bitset: the
+/// recovery engine owns the authoritative copy and pushes snapshots into
+/// every provider that routes for it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultMask {
+    words: Vec<u64>,
+    down: usize,
+}
+
+impl FaultMask {
+    /// An empty mask: every link is up.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultMask::default()
+    }
+
+    /// Whether no link is down.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.down == 0
+    }
+
+    /// How many links are down.
+    #[must_use]
+    pub fn down_count(&self) -> usize {
+        self.down
+    }
+
+    /// Whether `link` is down.
+    #[must_use]
+    pub fn is_down(&self, link: LinkId) -> bool {
+        self.words
+            .get(link.index() / 64)
+            .is_some_and(|w| w >> (link.index() % 64) & 1 == 1)
+    }
+
+    /// Marks `link` down; `true` if it was up before.
+    pub fn set_down(&mut self, link: LinkId) -> bool {
+        let (w, b) = (link.index() / 64, link.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let newly = self.words[w] & (1 << b) == 0;
+        if newly {
+            self.words[w] |= 1 << b;
+            self.down += 1;
+        }
+        newly
+    }
+
+    /// Marks `link` up; `true` if it was down before.
+    pub fn set_up(&mut self, link: LinkId) -> bool {
+        let (w, b) = (link.index() / 64, link.index() % 64);
+        let was_down = self.words.get(w).is_some_and(|word| word & (1 << b) != 0);
+        if was_down {
+            self.words[w] &= !(1 << b);
+            self.down -= 1;
+        }
+        was_down
+    }
+
+    /// Whether any link of `links` is down.
+    #[must_use]
+    pub fn blocks(&self, links: &[LinkId]) -> bool {
+        self.down > 0 && links.iter().any(|&l| self.is_down(l))
+    }
+}
+
+/// Position of the `i`-th route of `routes` not blocked by `faults`.
+fn nth_healthy(routes: &[CachedRoute], faults: &FaultMask, i: usize) -> Option<usize> {
+    routes
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !faults.blocks(&r.links))
+        .nth(i)
+        .map(|(pos, _)| pos)
+}
 
 /// A candidate route with its precomputed link list.
 #[derive(Debug, Clone)]
@@ -128,6 +218,66 @@ impl Entry {
         }
         self.routes.get(i)
     }
+
+    /// Serves the `i`-th candidate not blocked by `faults`, materializing
+    /// the detour stage when the healthy prefix runs out. With an empty
+    /// mask this is exactly [`candidate`](Self::candidate).
+    fn healthy_candidate(
+        &mut self,
+        topo: &Topology,
+        src: NiId,
+        dst: NiId,
+        max_paths: usize,
+        i: usize,
+        faults: &FaultMask,
+    ) -> Option<&CachedRoute> {
+        if faults.is_empty() {
+            return self.candidate(topo, src, dst, max_paths, i);
+        }
+        self.ensure_initial(topo, src, dst, max_paths);
+        if nth_healthy(&self.routes, faults, i).is_none() && self.state == EntryState::Partial {
+            self.ensure_complete(topo, src, dst, max_paths);
+        }
+        let pos = nth_healthy(&self.routes, faults, i)?;
+        Some(&self.routes[pos])
+    }
+
+    /// One blocking down link (the first on the shortest route) when the
+    /// pair is routable in the topology but **every** candidate traverses
+    /// a down link; `None` when the mask is empty, some candidate is
+    /// healthy, or no route exists at all.
+    fn blocking_fault(
+        &mut self,
+        topo: &Topology,
+        src: NiId,
+        dst: NiId,
+        max_paths: usize,
+        faults: &FaultMask,
+    ) -> Option<LinkId> {
+        if faults.is_empty() {
+            return None;
+        }
+        self.ensure_complete(topo, src, dst, max_paths);
+        if self.routes.is_empty() || self.routes.iter().any(|r| !faults.blocks(&r.links)) {
+            return None;
+        }
+        self.routes[0]
+            .links
+            .iter()
+            .copied()
+            .find(|&l| faults.is_down(l))
+    }
+
+    /// Whether any materialized route traverses a link that is down in
+    /// `new` but was not in `old` — the eviction predicate of
+    /// [`RouteProvider::set_faults`].
+    fn touches_newly_down(&self, new: &FaultMask, old: &FaultMask) -> bool {
+        self.state != EntryState::Untouched
+            && self
+                .routes
+                .iter()
+                .any(|r| r.links.iter().any(|&l| new.is_down(l) && !old.is_down(l)))
+    }
 }
 
 /// Shape snapshot of the topology a provider was built for, used to
@@ -184,7 +334,8 @@ pub trait RouteProvider: core::fmt::Debug + Send {
     /// The `i`-th candidate route from `src` to `dst` (shortest first), or
     /// `None` when fewer than `i + 1` candidates exist. Implementations
     /// materialize the expensive detour stage only when `i` walks past
-    /// the XY/YX routes.
+    /// the XY/YX routes. Under a non-empty [fault mask](Self::faults)
+    /// only candidates traversing no down link are counted and served.
     ///
     /// # Panics
     ///
@@ -195,7 +346,9 @@ pub trait RouteProvider: core::fmt::Debug + Send {
         -> Option<&RouteEntry>;
 
     /// The full candidate list from `src` to `dst`, shortest first,
-    /// computing and memoizing it on first use.
+    /// computing and memoizing it on first use. Under a non-empty
+    /// [fault mask](Self::faults) the list is filtered to the healthy
+    /// candidates.
     ///
     /// # Panics
     ///
@@ -206,6 +359,30 @@ pub trait RouteProvider: core::fmt::Debug + Send {
     /// How many (src, dst) pairs are resident — i.e. have been (at least
     /// partially) computed and are holding memory.
     fn resident_pairs(&self) -> usize;
+
+    /// The link-fault mask candidates are currently filtered through
+    /// (empty unless [`set_faults`](Self::set_faults) installed one).
+    fn faults(&self) -> &FaultMask;
+
+    /// Installs `faults` as the provider's link-fault mask. Subsequent
+    /// [`candidate`](Self::candidate)/[`candidates`](Self::candidates)
+    /// calls skip every route traversing a down link, and resident
+    /// entries touching a **newly** down link are evicted — their memory
+    /// is released and [`resident_pairs`](Self::resident_pairs) drops
+    /// accordingly. Re-materialization is a pure function of the
+    /// topology, so eviction never changes a candidate sequence.
+    fn set_faults(&mut self, faults: &FaultMask);
+
+    /// When the (src, dst) pair is routable in the topology but **every**
+    /// candidate traverses a down link, one of the blocking links (the
+    /// first down link of the shortest route); `None` when the mask is
+    /// empty, some candidate is healthy, or no route exists at all —
+    /// distinguishing "severed by faults" from a plain no-route.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`candidate`](Self::candidate) on a foreign topology.
+    fn blocking_fault(&mut self, topo: &Topology, src: NiId, dst: NiId) -> Option<LinkId>;
 }
 
 /// The default route provider: a lazily-populated *hashed* cache whose
@@ -237,6 +414,10 @@ pub struct RouteCache {
     max_paths: usize,
     shape: Shape,
     entries: HashMap<(u32, u32), Entry>,
+    faults: FaultMask,
+    /// Scratch for fault-filtered [`candidates`](RouteProvider::candidates)
+    /// results (the unmasked path returns the resident slice directly).
+    healthy: Vec<CachedRoute>,
 }
 
 impl RouteCache {
@@ -249,6 +430,8 @@ impl RouteCache {
             max_paths,
             shape: Shape::of(topo),
             entries: HashMap::new(),
+            faults: FaultMask::new(),
+            healthy: Vec::new(),
         }
     }
 
@@ -280,18 +463,47 @@ impl RouteProvider for RouteCache {
     ) -> Option<&RouteEntry> {
         self.shape.check(topo, src, dst);
         let entry = self.entries.entry(Self::key(src, dst)).or_default();
-        entry.candidate(topo, src, dst, self.max_paths, i)
+        entry.healthy_candidate(topo, src, dst, self.max_paths, i, &self.faults)
     }
 
     fn candidates(&mut self, topo: &Topology, src: NiId, dst: NiId) -> &[RouteEntry] {
         self.shape.check(topo, src, dst);
         let entry = self.entries.entry(Self::key(src, dst)).or_default();
         entry.ensure_complete(topo, src, dst, self.max_paths);
-        &entry.routes
+        if self.faults.is_empty() {
+            return &entry.routes;
+        }
+        let faults = &self.faults;
+        self.healthy.clear();
+        self.healthy.extend(
+            entry
+                .routes
+                .iter()
+                .filter(|r| !faults.blocks(&r.links))
+                .cloned(),
+        );
+        &self.healthy
     }
 
     fn resident_pairs(&self) -> usize {
         self.cached_pairs()
+    }
+
+    fn faults(&self) -> &FaultMask {
+        &self.faults
+    }
+
+    fn set_faults(&mut self, faults: &FaultMask) {
+        let old = &self.faults;
+        self.entries
+            .retain(|_, e| !e.touches_newly_down(faults, old));
+        self.faults = faults.clone();
+    }
+
+    fn blocking_fault(&mut self, topo: &Topology, src: NiId, dst: NiId) -> Option<LinkId> {
+        self.shape.check(topo, src, dst);
+        let entry = self.entries.entry(Self::key(src, dst)).or_default();
+        entry.blocking_fault(topo, src, dst, self.max_paths, &self.faults)
     }
 }
 
@@ -310,6 +522,10 @@ pub struct DenseRouteCache {
     max_paths: usize,
     shape: Shape,
     entries: Vec<Entry>,
+    faults: FaultMask,
+    /// Scratch for fault-filtered [`candidates`](RouteProvider::candidates)
+    /// results (the unmasked path returns the resident slice directly).
+    healthy: Vec<CachedRoute>,
 }
 
 impl DenseRouteCache {
@@ -322,6 +538,8 @@ impl DenseRouteCache {
             max_paths,
             shape,
             entries: vec![Entry::default(); shape.ni_count * shape.ni_count],
+            faults: FaultMask::new(),
+            healthy: Vec::new(),
         }
     }
 
@@ -353,7 +571,7 @@ impl RouteProvider for DenseRouteCache {
     ) -> Option<&RouteEntry> {
         self.shape.check(topo, src, dst);
         let idx = self.pair_index(src, dst);
-        self.entries[idx].candidate(topo, src, dst, self.max_paths, i)
+        self.entries[idx].healthy_candidate(topo, src, dst, self.max_paths, i, &self.faults)
     }
 
     fn candidates(&mut self, topo: &Topology, src: NiId, dst: NiId) -> &[RouteEntry] {
@@ -362,11 +580,43 @@ impl RouteProvider for DenseRouteCache {
         let max_paths = self.max_paths;
         let entry = &mut self.entries[idx];
         entry.ensure_complete(topo, src, dst, max_paths);
-        &entry.routes
+        if self.faults.is_empty() {
+            return &entry.routes;
+        }
+        let faults = &self.faults;
+        self.healthy.clear();
+        self.healthy.extend(
+            entry
+                .routes
+                .iter()
+                .filter(|r| !faults.blocks(&r.links))
+                .cloned(),
+        );
+        &self.healthy
     }
 
     fn resident_pairs(&self) -> usize {
         self.cached_pairs()
+    }
+
+    fn faults(&self) -> &FaultMask {
+        &self.faults
+    }
+
+    fn set_faults(&mut self, faults: &FaultMask) {
+        let old = &self.faults;
+        for e in &mut self.entries {
+            if e.touches_newly_down(faults, old) {
+                *e = Entry::default();
+            }
+        }
+        self.faults = faults.clone();
+    }
+
+    fn blocking_fault(&mut self, topo: &Topology, src: NiId, dst: NiId) -> Option<LinkId> {
+        self.shape.check(topo, src, dst);
+        let idx = self.pair_index(src, dst);
+        self.entries[idx].blocking_fault(topo, src, dst, self.max_paths, &self.faults)
     }
 }
 
@@ -476,6 +726,154 @@ mod tests {
         let dense = DenseRouteCache::new(&topo, 4);
         assert_eq!(dense.entries.len(), 64); // 8 NIs → 64 ordered pairs
         assert_eq!(dense.resident_pairs(), 0); // ...but none computed yet
+    }
+
+    /// Every (provider, mask) combination used by the fault tests: both
+    /// providers must behave identically under a mask.
+    fn both_providers(topo: &Topology, max_paths: usize) -> (RouteCache, DenseRouteCache) {
+        (
+            RouteCache::new(topo, max_paths),
+            DenseRouteCache::new(topo, max_paths),
+        )
+    }
+
+    #[test]
+    fn fault_mask_set_and_clear_roundtrip() {
+        let mut mask = FaultMask::new();
+        assert!(mask.is_empty());
+        assert!(!mask.is_down(LinkId::new(130)));
+        assert!(mask.set_down(LinkId::new(130)));
+        assert!(!mask.set_down(LinkId::new(130)), "second set is a no-op");
+        assert!(mask.set_down(LinkId::new(3)));
+        assert_eq!(mask.down_count(), 2);
+        assert!(mask.is_down(LinkId::new(130)) && mask.is_down(LinkId::new(3)));
+        assert!(mask.blocks(&[LinkId::new(1), LinkId::new(3)]));
+        assert!(!mask.blocks(&[LinkId::new(1), LinkId::new(2)]));
+        assert!(mask.set_up(LinkId::new(130)));
+        assert!(!mask.set_up(LinkId::new(130)), "second raise is a no-op");
+        assert!(!mask.set_up(LinkId::new(999)), "never-down link is a no-op");
+        assert!(mask.set_up(LinkId::new(3)));
+        assert!(mask.is_empty());
+    }
+
+    #[test]
+    fn masked_candidates_skip_routes_over_down_links() {
+        let topo = Topology::mesh(3, 3, 1);
+        let (mut hashed, mut dense) = both_providers(&topo, 12);
+        let (s, d) = (NiId::new(0), NiId::new(8)); // corner to corner
+        let all: Vec<Path> = hashed
+            .candidates(&topo, s, d)
+            .iter()
+            .map(|r| r.path.clone())
+            .collect();
+        assert!(all.len() > 2, "diagonal pair has detours");
+
+        // Fail the first link after the NI ingress of the XY route.
+        let down = hashed.candidates(&topo, s, d)[0].links[1];
+        let mut mask = FaultMask::new();
+        mask.set_down(down);
+        hashed.set_faults(&mask);
+        dense.set_faults(&mask);
+
+        let expected: Vec<Path> = {
+            let mut v = all.clone();
+            let mut probe = RouteCache::new(&topo, 12);
+            let keep: Vec<bool> = probe
+                .candidates(&topo, s, d)
+                .iter()
+                .map(|r| !r.links.contains(&down))
+                .collect();
+            let mut it = keep.iter();
+            v.retain(|_| *it.next().unwrap());
+            v
+        };
+        assert!(!expected.is_empty() && expected.len() < all.len());
+
+        for p in [&mut hashed as &mut dyn RouteProvider, &mut dense] {
+            // candidates() filters...
+            let filtered: Vec<Path> = p
+                .candidates(&topo, s, d)
+                .iter()
+                .map(|r| r.path.clone())
+                .collect();
+            assert_eq!(filtered, expected);
+            // ...and candidate(i) serves exactly the healthy sequence.
+            let mut walked = Vec::new();
+            let mut i = 0;
+            while let Some(r) = p.candidate(&topo, s, d, i) {
+                assert!(!r.links.contains(&down), "served a route over a down link");
+                walked.push(r.path.clone());
+                i += 1;
+            }
+            assert_eq!(walked, expected);
+            assert!(p.blocking_fault(&topo, s, d).is_none(), "detours survive");
+        }
+
+        // Clearing the mask restores the unmasked sequence bit-for-bit.
+        hashed.set_faults(&FaultMask::new());
+        let back: Vec<Path> = hashed
+            .candidates(&topo, s, d)
+            .iter()
+            .map(|r| r.path.clone())
+            .collect();
+        assert_eq!(back, all);
+    }
+
+    #[test]
+    fn blocking_fault_reported_when_every_route_is_severed() {
+        let topo = Topology::mesh(3, 1, 1);
+        let (mut hashed, mut dense) = both_providers(&topo, 12);
+        let (s, d) = (NiId::new(0), NiId::new(2));
+        // On a 1-row mesh every route shares the single eastbound chain;
+        // failing the NI ingress link severs the pair outright.
+        let ingress = topo.ni_ingress_link(s);
+        let mut mask = FaultMask::new();
+        mask.set_down(ingress);
+        for p in [&mut hashed as &mut dyn RouteProvider, &mut dense] {
+            assert!(p.blocking_fault(&topo, s, d).is_none(), "mask not set yet");
+            p.set_faults(&mask);
+            assert!(p.candidate(&topo, s, d, 0).is_none());
+            assert!(p.candidates(&topo, s, d).is_empty());
+            assert_eq!(p.blocking_fault(&topo, s, d), Some(ingress));
+        }
+    }
+
+    #[test]
+    fn set_faults_evicts_resident_entries_touching_newly_down_links() {
+        let topo = Topology::mesh(4, 4, 1);
+        let (mut hashed, mut dense) = both_providers(&topo, 12);
+        // Touch two pairs: one through the failed link's router, one far away.
+        let (near_s, near_d) = (NiId::new(0), NiId::new(1));
+        let (far_s, far_d) = (NiId::new(14), NiId::new(15));
+        for p in [&mut hashed as &mut dyn RouteProvider, &mut dense] {
+            let _ = p.candidates(&topo, near_s, near_d);
+            let _ = p.candidates(&topo, far_s, far_d);
+            assert_eq!(p.resident_pairs(), 2);
+
+            let down = p.candidates(&topo, near_s, near_d)[0].links[0];
+            let mut mask = FaultMask::new();
+            mask.set_down(down);
+            p.set_faults(&mask);
+            assert_eq!(
+                p.resident_pairs(),
+                1,
+                "the entry over the failed link is evicted, the bystander stays"
+            );
+
+            // Re-installing the same mask evicts nothing further (only
+            // *newly* down links evict), and the evicted pair re-resides
+            // on next touch with the same healthy answer as a cold cache.
+            p.set_faults(&mask);
+            assert_eq!(p.resident_pairs(), 1);
+            assert!(p.candidates(&topo, near_s, near_d).is_empty());
+            assert_eq!(p.resident_pairs(), 2);
+
+            // Raising the link back evicts nothing; the stale-filtered
+            // entry serves the full list again purely via the mask.
+            p.set_faults(&FaultMask::new());
+            assert_eq!(p.resident_pairs(), 2);
+            assert!(!p.candidates(&topo, near_s, near_d).is_empty());
+        }
     }
 
     #[test]

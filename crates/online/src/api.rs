@@ -14,7 +14,7 @@
 
 use aelite_alloc::AllocError;
 use aelite_spec::churn::ChurnOp;
-use aelite_spec::ids::ConnId;
+use aelite_spec::ids::{ConnId, LinkId};
 use core::fmt;
 
 /// One admission request against a live allocation.
@@ -118,6 +118,12 @@ pub enum RefusalCause {
     UnknownConn,
     /// An open named a connection that already holds a grant.
     AlreadyOpen,
+    /// The pair is routable in the topology, but every candidate route
+    /// traverses a failed link of the provider's fault mask.
+    LinkDown {
+        /// One blocking down link (the first on the shortest route).
+        link: LinkId,
+    },
 }
 
 impl From<AllocError> for RefusalCause {
@@ -140,6 +146,7 @@ impl From<AllocError> for RefusalCause {
                 required_ns,
                 best_ns,
             },
+            AllocError::LinkDown { link, .. } => RefusalCause::LinkDown { link },
         }
     }
 }
@@ -160,6 +167,9 @@ impl fmt::Display for RefusalCause {
             ),
             RefusalCause::UnknownConn => write!(f, "holds no grant"),
             RefusalCause::AlreadyOpen => write!(f, "already holds a grant"),
+            RefusalCause::LinkDown { link } => {
+                write!(f, "severed: every route traverses down link {link}")
+            }
         }
     }
 }

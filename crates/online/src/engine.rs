@@ -4,7 +4,7 @@
 
 use crate::api::{AdmissionError, AdmissionRequest, AdmissionResponse, RefusalCause};
 use aelite_alloc::{
-    AdmissionRound, AllocScratch, Allocation, Allocator, RouteCache, RouteProvider,
+    AdmissionRound, AllocScratch, Allocation, Allocator, FaultMask, RouteCache, RouteProvider,
 };
 use aelite_spec::churn::ChurnOp;
 use aelite_spec::ids::ConnId;
@@ -33,6 +33,10 @@ pub struct ChurnStats {
     /// Open-set admissions that had succeeded inside switches and were
     /// undone by rollbacks.
     pub rolled_back_opens: u64,
+    /// Refusals (of any kind, already counted in the per-kind counters
+    /// above) whose cause was [`RefusalCause::LinkDown`] — admissions
+    /// that failed *because of the fault mask*, not because of capacity.
+    pub refused_link_down: u64,
 }
 
 impl ChurnStats {
@@ -92,6 +96,19 @@ pub struct ChurnEngine {
     /// amortises the batch bookkeeping.
     serial_floor: usize,
     stats: ChurnStats,
+}
+
+/// How [`ChurnEngine::reroute`] moved a connection onto a fault-free
+/// path — the rung of the recovery ladder that succeeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RerouteOutcome {
+    /// The replacement was admitted while the old grant's reservations
+    /// were still in place: the connection's capacity was handed over as
+    /// one delta, never released to third parties in between.
+    MakeBeforeBreak,
+    /// The old reservations had to be freed before the replacement fit
+    /// (the new path reuses slots the old one held).
+    BreakThenMake,
 }
 
 /// Default burst-size floor below which [`ChurnEngine::submit_batch`]
@@ -170,6 +187,118 @@ impl ChurnEngine {
     #[must_use]
     pub fn stats(&self) -> &ChurnStats {
         &self.stats
+    }
+
+    /// The fault mask admissions are currently filtered against (empty
+    /// unless [`set_faults`](Self::set_faults) installed one).
+    #[must_use]
+    pub fn faults(&self) -> &FaultMask {
+        self.routes.faults()
+    }
+
+    /// Installs `faults` as the route provider's fault mask: from now on
+    /// no admission through this engine can be granted a route that
+    /// traverses a down link, and resident cached routes touching a
+    /// newly-down link are evicted (see [`RouteProvider::set_faults`]).
+    ///
+    /// The mask constrains *future* admissions only — grants already in
+    /// an allocation are not inspected here. Walking the affected grants
+    /// and re-routing them is the recovery sweep of
+    /// [`FaultEngine`](crate::fault::FaultEngine).
+    pub fn set_faults(&mut self, faults: &FaultMask) {
+        self.routes.set_faults(faults);
+    }
+
+    /// Re-routes one live connection onto a path admissible under the
+    /// current fault mask, preferring **make-before-break**: the old
+    /// grant is detached but its slot reservations stay in place while
+    /// the replacement is admitted, so the new path never collides with
+    /// the old one and the connection's capacity is handed over as one
+    /// delta. If that fails (the old reservations may be exactly the
+    /// capacity the replacement needs), falls back to break-then-make:
+    /// release the old slots first, then retry.
+    ///
+    /// On refusal of both attempts the connection is left **closed** —
+    /// its old grant is *not* restored, because the caller re-routes
+    /// precisely when the old path is no longer usable (it traverses a
+    /// down link); re-installing it would hand out dead capacity. The
+    /// old slots are free again and the grant's buffers recycled.
+    ///
+    /// Bystander grants are never touched, whatever the outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`RefusalCause::UnknownConn`] if `conn` holds no grant; otherwise
+    /// the refusal of the final break-then-make attempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`submit`](Self::submit).
+    pub fn reroute(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        conn: ConnId,
+    ) -> Result<RerouteOutcome, AdmissionError> {
+        let Some(old) = alloc.detach_grant(conn) else {
+            self.stats.refused_closes += 1;
+            return Err(AdmissionError {
+                conn,
+                cause: RefusalCause::UnknownConn,
+                rolled_back: 0,
+            });
+        };
+        let round = self.allocator.begin_round(spec, alloc, &*self.routes);
+        match self.allocator.admit_in_round(
+            &round,
+            spec,
+            alloc,
+            conn,
+            &mut *self.routes,
+            &mut self.scratch,
+        ) {
+            Ok(()) => {
+                // Make succeeded with the old reservations still held:
+                // release them now that the replacement is committed.
+                alloc.release_reservations_of(&old);
+                self.scratch.recycle(old);
+                self.stats.teardowns += 1;
+                self.stats.setups += 1;
+                Ok(RerouteOutcome::MakeBeforeBreak)
+            }
+            Err(_) => {
+                // Break-then-make: the old slots may be exactly the
+                // capacity the replacement needs. Free them and retry.
+                alloc.release_reservations_of(&old);
+                self.scratch.recycle(old);
+                self.stats.teardowns += 1;
+                match self.allocator.admit_in_round(
+                    &round,
+                    spec,
+                    alloc,
+                    conn,
+                    &mut *self.routes,
+                    &mut self.scratch,
+                ) {
+                    Ok(()) => {
+                        self.stats.setups += 1;
+                        Ok(RerouteOutcome::BreakThenMake)
+                    }
+                    Err(e) => {
+                        let cause: RefusalCause = e.into();
+                        self.stats.refused_opens += 1;
+                        if matches!(cause, RefusalCause::LinkDown { .. }) {
+                            self.stats.refused_link_down += 1;
+                        }
+                        Err(AdmissionError {
+                            conn,
+                            cause,
+                            rolled_back: 0,
+                        })
+                    }
+                }
+            }
+        }
     }
 
     /// Services one admission request: the unified entry point every
@@ -350,10 +479,14 @@ impl ChurnEngine {
                 Ok(())
             }
             Err(e) => {
+                let cause: RefusalCause = e.into();
                 self.stats.refused_opens += 1;
+                if matches!(cause, RefusalCause::LinkDown { .. }) {
+                    self.stats.refused_link_down += 1;
+                }
                 Err(AdmissionError {
                     conn,
-                    cause: e.into(),
+                    cause,
                     rolled_back: 0,
                 })
             }
@@ -431,6 +564,9 @@ impl ChurnEngine {
                     }
                     self.stats.teardowns += closed;
                     self.stats.refused_switches += 1;
+                    if matches!(cause, RefusalCause::LinkDown { .. }) {
+                        self.stats.refused_link_down += 1;
+                    }
                     self.stats.rolled_back_opens += u64::from(rolled_back);
                     return Err(AdmissionError {
                         conn,

@@ -1,0 +1,551 @@
+//! Fault injection and undisturbed recovery: link/router failures
+//! serviced as churn deltas.
+//!
+//! The paper's contract is composable, contention-free service — a
+//! connection, once admitted, is undisturbed by everything else,
+//! *including reconfiguration*. This module extends that contract to
+//! failures: a link going down is just another reconfiguration request,
+//! serviced by the same O(Δ) admission machinery, and every bystander's
+//! cycle-level delivery behaviour is provably unchanged
+//! (`tests/fault_undisturbed.rs`).
+//!
+//! [`FaultEngine`] wraps a [`ChurnEngine`] and drives the recovery
+//! ladder on each event:
+//!
+//! 1. **mask** — the failed link enters the engine's
+//!    [`FaultMask`]; from that point no
+//!    admission path (serial, batched round, sharded two-phase commit)
+//!    can grant a route traversing it, and resident cached routes over
+//!    it are evicted;
+//! 2. **make-before-break** — each affected grant (hardest first, the
+//!    allocator's admission order) is re-admitted on a fault-free path
+//!    *while its old reservations are still held*, then the old slots
+//!    are released as one delta ([`ChurnEngine::reroute`]);
+//! 3. **break-then-make** — if the replacement needs the old slots, they
+//!    are released first and the admission retried;
+//! 4. **structured refusal** — if no fault-free capacity exists the
+//!    connection is dropped with
+//!    [`RefusalCause::LinkDown`](crate::RefusalCause::LinkDown) (or a
+//!    capacity cause) and parked as *displaced*; when a repair event
+//!    restores routability ([`link_up`](FaultEngine::link_up) /
+//!    [`router_up`](FaultEngine::router_up)), displaced connections are
+//!    re-homed.
+//!
+//! Each event yields a [`RecoveryReport`]; [`FaultStats`] accumulates
+//! them. Bystander grants are never touched on any rung — undisturbed
+//! service under failure is structural, not best-effort.
+
+use crate::engine::{ChurnEngine, RerouteOutcome};
+use aelite_alloc::{admission_order, Allocation, FaultMask};
+use aelite_spec::fault::{FaultOp, ScenarioOp};
+use aelite_spec::ids::{ConnId, LinkId, RouterId};
+use aelite_spec::topology::{Endpoint, Topology};
+use aelite_spec::ChurnOp;
+use aelite_spec::SystemSpec;
+
+/// What one fault or repair event did to the live connections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Grants whose route traversed a newly failed link.
+    pub affected: u32,
+    /// Affected connections re-routed with the old reservations still
+    /// held — capacity handed over as one delta.
+    pub make_before_break: u32,
+    /// Affected connections re-routed only after their old slots were
+    /// released (the replacement reuses them).
+    pub break_then_make: u32,
+    /// Affected connections with no admissible fault-free path: dropped
+    /// and parked as displaced.
+    pub dropped: u32,
+    /// Previously displaced connections re-homed by this repair event.
+    pub restored: u32,
+}
+
+impl RecoveryReport {
+    /// Affected connections that kept service through the event.
+    #[must_use]
+    pub fn survived(&self) -> u32 {
+        self.make_before_break + self.break_then_make
+    }
+}
+
+/// Totals over every fault and repair event a [`FaultEngine`] serviced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Link failure events applied (no-op repeats not counted).
+    pub link_downs: u64,
+    /// Link repair events applied.
+    pub link_ups: u64,
+    /// Router failure events applied.
+    pub router_downs: u64,
+    /// Router repair events applied.
+    pub router_ups: u64,
+    /// Total grants affected across failure events.
+    pub affected: u64,
+    /// Total make-before-break re-routes.
+    pub make_before_break: u64,
+    /// Total break-then-make re-routes.
+    pub break_then_make: u64,
+    /// Total connections dropped (displaced) by failures.
+    pub dropped: u64,
+    /// Total displaced connections re-homed by repairs.
+    pub restored: u64,
+}
+
+impl FaultStats {
+    /// Total affected connections that kept service.
+    #[must_use]
+    pub fn survived(&self) -> u64 {
+        self.make_before_break + self.break_then_make
+    }
+
+    fn absorb(&mut self, r: &RecoveryReport) {
+        self.affected += u64::from(r.affected);
+        self.make_before_break += u64::from(r.make_before_break);
+        self.break_then_make += u64::from(r.break_then_make);
+        self.dropped += u64::from(r.dropped);
+        self.restored += u64::from(r.restored);
+    }
+}
+
+/// The links adjacent to `router` — router-router links on either side
+/// and the NI links of its concentrated NIs.
+fn router_links(topo: &Topology, router: RouterId, out: &mut Vec<LinkId>) {
+    out.clear();
+    out.extend(topo.links().filter(|&l| {
+        let link = topo.link(l);
+        let touches = |e: Endpoint| matches!(e, Endpoint::Router(r, _) if r == router);
+        touches(link.from) || touches(link.to)
+    }));
+}
+
+/// A recovery engine: a [`ChurnEngine`] plus the fault mask it admits
+/// under, the displaced-connection ledger, and the event counters. See
+/// the [module docs](self) for the recovery ladder.
+///
+/// Ordinary churn flows through [`apply`](Self::apply) (or the wrapped
+/// engine's own API between events); fault events flow through
+/// [`link_down`](Self::link_down) / [`link_up`](Self::link_up) /
+/// [`router_down`](Self::router_down) / [`router_up`](Self::router_up).
+/// The mask must only be changed through this engine — installing a
+/// different mask directly on the inner engine would desynchronise the
+/// displaced ledger.
+#[derive(Debug)]
+pub struct FaultEngine {
+    engine: ChurnEngine,
+    mask: FaultMask,
+    stats: FaultStats,
+    /// Connections dropped by failures that the workload still holds
+    /// open: candidates for re-homing on the next repair event.
+    displaced: Vec<ConnId>,
+    /// Reusable affected-grant / re-home order buffer.
+    order: Vec<ConnId>,
+    /// Reusable adjacent-links buffer for router events.
+    links: Vec<LinkId>,
+}
+
+impl FaultEngine {
+    /// A recovery engine for `spec`'s platform over a default
+    /// [`ChurnEngine`].
+    #[must_use]
+    pub fn new(spec: &SystemSpec) -> Self {
+        FaultEngine::with_engine(ChurnEngine::new(spec))
+    }
+
+    /// A recovery engine over a caller-configured churn engine (custom
+    /// allocator or route provider). Any fault mask already installed on
+    /// `engine` becomes the starting mask.
+    #[must_use]
+    pub fn with_engine(engine: ChurnEngine) -> Self {
+        let mask = engine.faults().clone();
+        FaultEngine {
+            engine,
+            mask,
+            stats: FaultStats::default(),
+            displaced: Vec::new(),
+            order: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// The wrapped churn engine (e.g. for its [`ChurnStats`] refusal
+    /// breakdown, where fault-caused refusals show up as
+    /// [`refused_link_down`](crate::ChurnStats::refused_link_down)).
+    ///
+    /// [`ChurnStats`]: crate::ChurnStats
+    #[must_use]
+    pub fn engine(&self) -> &ChurnEngine {
+        &self.engine
+    }
+
+    /// The current fault mask (the set of down links).
+    #[must_use]
+    pub fn mask(&self) -> &FaultMask {
+        &self.mask
+    }
+
+    /// Event and recovery totals since the engine was created.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Connections dropped by failures and not yet re-homed or closed
+    /// by the workload, in drop order.
+    #[must_use]
+    pub fn displaced(&self) -> &[ConnId] {
+        &self.displaced
+    }
+
+    /// Services one link failure: masks `link`, then walks every grant
+    /// routed over it down the recovery ladder (make-before-break,
+    /// break-then-make, drop-and-park), hardest connection first. A
+    /// repeat failure of an already-down link is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`ChurnEngine::submit`].
+    pub fn link_down(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        link: LinkId,
+    ) -> RecoveryReport {
+        if !self.mask.set_down(link) {
+            return RecoveryReport::default();
+        }
+        self.stats.link_downs += 1;
+        self.recover(spec, alloc, &[link])
+    }
+
+    /// Services one link repair: unmasks `link` and re-homes displaced
+    /// connections that now fit, hardest first. A repair of a link that
+    /// is not down is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`ChurnEngine::submit`].
+    pub fn link_up(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        link: LinkId,
+    ) -> RecoveryReport {
+        if !self.mask.set_up(link) {
+            return RecoveryReport::default();
+        }
+        self.stats.link_ups += 1;
+        self.rehome(spec, alloc)
+    }
+
+    /// Services a whole-router failure: every adjacent link still up
+    /// goes down together, then **one** recovery sweep re-routes the
+    /// grants touching any of them. A router whose links are all
+    /// already down is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`ChurnEngine::submit`].
+    pub fn router_down(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        router: RouterId,
+    ) -> RecoveryReport {
+        let mut links = core::mem::take(&mut self.links);
+        router_links(spec.topology(), router, &mut links);
+        links.retain(|&l| self.mask.set_down(l));
+        let report = if links.is_empty() {
+            RecoveryReport::default()
+        } else {
+            self.stats.router_downs += 1;
+            self.recover(spec, alloc, &links)
+        };
+        self.links = links;
+        report
+    }
+
+    /// Services a whole-router repair: every adjacent link currently
+    /// down comes back up together, then displaced connections are
+    /// re-homed. A router with no adjacent down link is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`ChurnEngine::submit`].
+    pub fn router_up(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        router: RouterId,
+    ) -> RecoveryReport {
+        let mut links = core::mem::take(&mut self.links);
+        router_links(spec.topology(), router, &mut links);
+        links.retain(|&l| self.mask.set_up(l));
+        let report = if links.is_empty() {
+            RecoveryReport::default()
+        } else {
+            self.stats.router_ups += 1;
+            self.rehome(spec, alloc)
+        };
+        self.links = links;
+        report
+    }
+
+    /// Applies one scenario operation (see [`aelite_spec::fault`]):
+    /// churn ops delegate to the wrapped engine, fault ops to the
+    /// matching event handler. Returns whether the op was applied in
+    /// full (fault events always are; churn follows
+    /// [`ChurnEngine::apply`]).
+    ///
+    /// A churn close of a displaced connection settles it (the workload
+    /// no longer wants it open), and a successful churn re-open removes
+    /// it from the ledger — so replaying a merged [`FaultScenario`]
+    /// keeps the ledger exact.
+    ///
+    /// [`FaultScenario`]: aelite_spec::fault::FaultScenario
+    pub fn apply(&mut self, spec: &SystemSpec, alloc: &mut Allocation, op: &ScenarioOp) -> bool {
+        match op {
+            ScenarioOp::Churn(c) => {
+                let ok = self.engine.apply(spec, alloc, c);
+                if !self.displaced.is_empty() {
+                    let closed_by = |conn: ConnId| match c {
+                        ChurnOp::Close(x) => *x == conn,
+                        ChurnOp::Switch { close, .. } => close.contains(&conn),
+                        ChurnOp::Open(_) => false,
+                    };
+                    self.displaced
+                        .retain(|&c| alloc.grant(c).is_none() && !closed_by(c));
+                }
+                ok
+            }
+            ScenarioOp::Fault(f) => {
+                match *f {
+                    FaultOp::LinkDown(l) => self.link_down(spec, alloc, l),
+                    FaultOp::LinkUp(l) => self.link_up(spec, alloc, l),
+                    FaultOp::RouterDown(r) => self.router_down(spec, alloc, r),
+                    FaultOp::RouterUp(r) => self.router_up(spec, alloc, r),
+                };
+                true
+            }
+        }
+    }
+
+    /// The failure-side sweep: installs the grown mask, collects the
+    /// grants routed over any of `newly_down`, and walks them down the
+    /// recovery ladder hardest-first.
+    fn recover(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        newly_down: &[LinkId],
+    ) -> RecoveryReport {
+        self.engine.set_faults(&self.mask);
+        self.order.clear();
+        self.order.extend(
+            alloc
+                .grants()
+                .filter(|g| g.links.iter().any(|l| newly_down.contains(l)))
+                .map(|g| g.conn),
+        );
+        admission_order(spec, &mut self.order);
+        let mut report = RecoveryReport {
+            affected: self.order.len() as u32,
+            ..RecoveryReport::default()
+        };
+        for i in 0..self.order.len() {
+            let conn = self.order[i];
+            match self.engine.reroute(spec, alloc, conn) {
+                Ok(RerouteOutcome::MakeBeforeBreak) => report.make_before_break += 1,
+                Ok(RerouteOutcome::BreakThenMake) => report.break_then_make += 1,
+                Err(_) => {
+                    report.dropped += 1;
+                    self.displaced.push(conn);
+                }
+            }
+        }
+        self.stats.absorb(&report);
+        report
+    }
+
+    /// The repair-side sweep: installs the shrunk mask and re-homes
+    /// displaced connections hardest-first. Connections that still do
+    /// not fit stay parked for the next repair.
+    fn rehome(&mut self, spec: &SystemSpec, alloc: &mut Allocation) -> RecoveryReport {
+        self.engine.set_faults(&self.mask);
+        let mut report = RecoveryReport::default();
+        if self.displaced.is_empty() {
+            return report;
+        }
+        self.order.clear();
+        self.order.extend_from_slice(&self.displaced);
+        admission_order(spec, &mut self.order);
+        for i in 0..self.order.len() {
+            let conn = self.order[i];
+            if self.engine.open(spec, alloc, conn).is_ok() {
+                report.restored += 1;
+            }
+        }
+        self.displaced.retain(|&c| alloc.grant(c).is_none());
+        self.stats.absorb(&report);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aelite_alloc::{allocate, validate_allocation, Allocation};
+    use aelite_spec::fault::{fault_trace, FaultParams, FaultScenario};
+    use aelite_spec::generate::paper_workload;
+    use aelite_spec::{churn_trace, ChurnParams};
+
+    /// No grant's route may traverse a down link — the core invariant.
+    fn assert_no_grant_over_down_link(alloc: &Allocation, mask: &FaultMask) {
+        for g in alloc.grants() {
+            for &l in &g.links {
+                assert!(!mask.is_down(l), "{} granted over down link {l}", g.conn);
+            }
+        }
+    }
+
+    #[test]
+    fn link_down_reroutes_every_affected_grant_on_a_healthy_platform() {
+        let spec = paper_workload(42);
+        let mut alloc = allocate(&spec).unwrap();
+        let mut engine = FaultEngine::new(&spec);
+        // Fail the most-loaded link so the sweep has real work.
+        let mut load = vec![0u32; spec.topology().link_count()];
+        for g in alloc.grants() {
+            for &l in &g.links {
+                load[l.index()] += 1;
+            }
+        }
+        let (victim, &count) = load.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
+        assert!(count > 0, "paper workload loads some link");
+        let victim = aelite_spec::ids::LinkId::new(victim as u32);
+
+        let before: Vec<_> = alloc
+            .grants()
+            .filter(|g| !g.links.contains(&victim))
+            .map(|g| (*g).clone())
+            .collect();
+        let report = engine.link_down(&spec, &mut alloc, victim);
+        assert_eq!(report.affected, count);
+        assert_eq!(report.survived() + report.dropped, report.affected);
+        assert_no_grant_over_down_link(&alloc, engine.mask());
+        // Bystanders bit-for-bit untouched.
+        for g in &before {
+            assert_eq!(alloc.grant(g.conn).unwrap(), g, "{} moved", g.conn);
+        }
+        // Repeat failure is a no-op.
+        assert_eq!(
+            engine.link_down(&spec, &mut alloc, victim),
+            RecoveryReport::default()
+        );
+        assert_eq!(engine.stats().link_downs, 1);
+        let open: Vec<_> = alloc.grants().map(|g| g.conn).collect();
+        validate_allocation(&spec.restricted_to_connections(&open), &alloc)
+            .expect("valid after recovery");
+    }
+
+    #[test]
+    fn severed_connection_is_dropped_then_restored_on_repair() {
+        // 3x1 path mesh: NI0's traffic has exactly one way out.
+        let topo = aelite_spec::Topology::mesh(3, 1, 1);
+        let ingress = topo.ni_ingress_link(aelite_spec::ids::NiId::new(0));
+        let mut b = aelite_spec::SystemSpecBuilder::new(topo, aelite_spec::NocConfig::default());
+        let app = b.add_app("a");
+        let s = b.add_ip_at(aelite_spec::ids::NiId::new(0));
+        let d = b.add_ip_at(aelite_spec::ids::NiId::new(2));
+        let conn = b.add_connection(
+            app,
+            s,
+            d,
+            aelite_spec::Bandwidth::from_mbytes_per_sec(100),
+            1_000_000,
+        );
+        let spec = b.build();
+        let mut alloc = allocate(&spec).unwrap();
+        let mut engine = FaultEngine::new(&spec);
+
+        let report = engine.link_down(&spec, &mut alloc, ingress);
+        assert_eq!(report.affected, 1);
+        assert_eq!(report.dropped, 1);
+        assert_eq!(report.survived(), 0);
+        assert!(alloc.grant(conn).is_none(), "no alternative path exists");
+        assert_eq!(engine.displaced(), &[conn]);
+        // The refusal was attributed to the fault, not to capacity.
+        assert_eq!(engine.engine().stats().refused_link_down, 1);
+
+        let report = engine.link_up(&spec, &mut alloc, ingress);
+        assert_eq!(report.restored, 1);
+        assert!(alloc.grant(conn).is_some(), "re-homed on repair");
+        assert!(engine.displaced().is_empty());
+        assert_eq!(engine.stats().dropped, 1);
+        assert_eq!(engine.stats().restored, 1);
+    }
+
+    #[test]
+    fn router_down_takes_adjacent_links_in_one_sweep() {
+        let spec = paper_workload(42);
+        let mut alloc = allocate(&spec).unwrap();
+        let mut engine = FaultEngine::new(&spec);
+        let router = aelite_spec::ids::RouterId::new(5);
+        let report = engine.router_down(&spec, &mut alloc, router);
+        assert!(report.affected > 0, "a mid-mesh router carries traffic");
+        assert_eq!(engine.stats().router_downs, 1);
+        assert_no_grant_over_down_link(&alloc, engine.mask());
+        // Every adjacent link is down, exactly once.
+        let mut links = Vec::new();
+        router_links(spec.topology(), router, &mut links);
+        for &l in &links {
+            assert!(engine.mask().is_down(l));
+        }
+        assert_eq!(engine.mask().down_count(), links.len());
+        // Repair raises them all and counts once.
+        engine.router_up(&spec, &mut alloc, router);
+        assert!(engine.mask().is_empty());
+        assert_eq!(engine.stats().router_ups, 1);
+    }
+
+    #[test]
+    fn scenario_replay_holds_the_no_down_link_invariant() {
+        let spec = paper_workload(42);
+        let churn = churn_trace(
+            &spec,
+            &ChurnParams {
+                events: 600,
+                ..ChurnParams::steady(600)
+            },
+            21,
+        );
+        let faults = fault_trace(
+            spec.topology(),
+            &FaultParams {
+                events: 60,
+                rate_per_sec: 1.0e5,
+                ..FaultParams::sparse(60)
+            },
+            21,
+        );
+        let scenario = FaultScenario::merge(&churn, &faults);
+        let mut alloc = Allocation::empty_for(&spec);
+        let mut engine = FaultEngine::new(&spec);
+        for e in &scenario.events {
+            engine.apply(&spec, &mut alloc, &e.op);
+            assert_no_grant_over_down_link(&alloc, engine.mask());
+            // The ledger never holds a connection that has a grant.
+            for &c in engine.displaced() {
+                assert!(alloc.grant(c).is_none());
+            }
+        }
+        let s = engine.stats();
+        assert!(s.link_downs + s.router_downs > 0);
+        assert_eq!(s.survived() + s.dropped, s.affected);
+        let open: Vec<_> = alloc.grants().map(|g| g.conn).collect();
+        if !open.is_empty() {
+            validate_allocation(&spec.restricted_to_connections(&open), &alloc)
+                .expect("valid end state");
+        }
+    }
+}

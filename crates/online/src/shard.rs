@@ -494,6 +494,7 @@ fn add_stats(into: &mut ChurnStats, s: &ChurnStats) {
     into.refused_closes += s.refused_closes;
     into.refused_switches += s.refused_switches;
     into.rolled_back_opens += s.rolled_back_opens;
+    into.refused_link_down += s.refused_link_down;
 }
 
 /// One shard's working set during a parallel phase: exclusive borrows
@@ -571,6 +572,21 @@ impl ShardedEngine {
     #[must_use]
     pub fn config(&self) -> &ShardConfig {
         &self.config
+    }
+
+    /// Installs `faults` as the fault mask of **every** shard engine and
+    /// the hub (see [`ChurnEngine::set_faults`]): a route traversing a
+    /// down link can be granted by none of the admission paths —
+    /// intra-shard, serial fallback, or the cross-shard two-phase
+    /// commit. Masking only removes candidates, so shard classification
+    /// and the conn-links ownership invariants are unaffected; the
+    /// sharded outcome stays bit-identical to the plain engine under the
+    /// same mask in [`sharded_canonical_order`].
+    pub fn set_faults(&mut self, faults: &aelite_alloc::FaultMask) {
+        for e in &mut self.engines {
+            e.set_faults(faults);
+        }
+        self.hub_engine.set_faults(faults);
     }
 
     /// Work counters summed over every shard engine and the hub.

@@ -45,6 +45,7 @@ fn stats_delta(after: &ChurnStats, before: &ChurnStats) -> ChurnStats {
         refused_closes: after.refused_closes - before.refused_closes,
         refused_switches: after.refused_switches - before.refused_switches,
         rolled_back_opens: after.rolled_back_opens - before.rolled_back_opens,
+        refused_link_down: after.refused_link_down - before.refused_link_down,
     }
 }
 

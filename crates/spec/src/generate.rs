@@ -144,6 +144,36 @@ impl Default for WorkloadParams {
     }
 }
 
+/// How the random draw picks each connection's destination — uniform by
+/// default, or one of the classic adversarial NoC patterns used to put
+/// recovery and admission under pressure (the fault benchmarks run the
+/// same platform under all four).
+///
+/// Adversarial profiles are deterministic per seed like everything else
+/// here, but cannot be combined with [`WorkloadBuilder::tiles`] locality
+/// (they prescribe their own destination structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrafficProfile {
+    /// Destination drawn uniformly over all IPs — reproduces the
+    /// historical generators bit-for-bit (identical rng draw sequence).
+    #[default]
+    Uniform,
+    /// Half the draws target one of `spots` evenly spaced hotspot IPs,
+    /// half stay uniform: a few NIs saturate while the rest idle.
+    Hotspot {
+        /// Number of hotspot IPs (evenly spaced over the placed IPs).
+        spots: u32,
+    },
+    /// Matrix-transpose traffic on a square mesh: a source at router
+    /// `(x, y)` sends to an IP at router `(y, x)` — maximal bisection
+    /// pressure along the diagonal.
+    Transpose,
+    /// Coordinate-complement traffic: a source at router `(x, y)` sends
+    /// to an IP at router `(cols-1-x, rows-1-y)` — every connection
+    /// crosses the mesh centre.
+    BitComplement,
+}
+
 /// One entry point for every random workload in the repo: the paper's
 /// Section VII platform, the scaled benchmark meshes and the mega-mesh
 /// (16×16–32×32, 10k–100k connection) regime are all points in this
@@ -193,6 +223,7 @@ pub struct WorkloadBuilder {
     params: WorkloadParams,
     ips: Option<u32>,
     locality: Option<(u32, u32)>,
+    profile: TrafficProfile,
     seed: u64,
 }
 
@@ -211,6 +242,7 @@ impl WorkloadBuilder {
             params: WorkloadParams::scaled(),
             ips: None,
             locality: None,
+            profile: TrafficProfile::Uniform,
             seed: 0,
         }
     }
@@ -298,6 +330,15 @@ impl WorkloadBuilder {
         self
     }
 
+    /// Sets the destination-draw profile (default
+    /// [`TrafficProfile::Uniform`]; the adversarial profiles are the
+    /// fault benchmarks' pressure workloads).
+    #[must_use]
+    pub fn profile(mut self, profile: TrafficProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Replaces the NoC configuration (slot table size, flit width, …).
     #[must_use]
     pub fn config(mut self, config: NocConfig) -> Self {
@@ -355,7 +396,14 @@ impl WorkloadBuilder {
     /// IPs, zero connections/apps, invalid ranges).
     pub fn try_build(self) -> Result<SystemSpec, WorkloadError> {
         let (topo, params) = self.resolved();
-        try_random_workload_with(topo, self.config, params, self.seed, self.locality)
+        try_random_workload_profiled(
+            topo,
+            self.config,
+            params,
+            self.seed,
+            self.locality,
+            self.profile,
+        )
     }
 }
 
@@ -516,6 +564,52 @@ pub fn try_random_workload_with(
     seed: u64,
     locality: Option<(u32, u32)>,
 ) -> Result<SystemSpec, WorkloadError> {
+    try_random_workload_profiled(
+        topo,
+        config,
+        params,
+        seed,
+        locality,
+        TrafficProfile::Uniform,
+    )
+}
+
+/// [`try_random_workload_with`] with a destination-draw
+/// [`TrafficProfile`]: the full generator core every other entry point
+/// funnels into. [`TrafficProfile::Uniform`] reproduces
+/// [`try_random_workload_with`] bit-for-bit (identical rng draw
+/// sequence); the adversarial profiles replace the uniform destination
+/// draw with their own structure and keep everything else — bandwidth
+/// and latency draws, feasibility budgeting, app assignment — unchanged.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InfeasibleDraw`] as
+/// [`try_random_workload`] — adversarial profiles concentrate load, so
+/// they hit the per-link budget at connection counts a uniform draw
+/// carries easily.
+///
+/// # Panics
+///
+/// Panics as [`try_random_workload_with`]; additionally if an
+/// adversarial profile is combined with a locality constraint, if
+/// [`TrafficProfile::Hotspot`] asks for zero spots or more spots than
+/// IPs, if [`TrafficProfile::Transpose`] runs on a non-square or
+/// non-mesh topology, or if [`TrafficProfile::BitComplement`] runs on a
+/// non-mesh topology.
+pub fn try_random_workload_profiled(
+    topo: Topology,
+    config: NocConfig,
+    params: WorkloadParams,
+    seed: u64,
+    locality: Option<(u32, u32)>,
+    profile: TrafficProfile,
+) -> Result<SystemSpec, WorkloadError> {
+    assert!(
+        profile == TrafficProfile::Uniform || locality.is_none(),
+        "adversarial traffic profiles prescribe their own destination \
+         structure and cannot be combined with tile locality"
+    );
     assert!(params.ips >= 2, "need at least two IPs");
     assert!(params.apps >= 1, "need at least one application");
     assert!(params.connections >= 1, "need at least one connection");
@@ -566,6 +660,39 @@ pub fn try_random_workload_with(
         (tile_ips, ip_tile)
     });
 
+    // Destination pools for the adversarial profiles: the hotspot IP
+    // list, or the IPs at each router for the coordinate patterns. No
+    // rng draw happens here, so the Uniform sequence is untouched.
+    let hotspots: Vec<IpId> = match profile {
+        TrafficProfile::Hotspot { spots } => {
+            assert!(
+                spots >= 1 && (spots as usize) <= ips.len(),
+                "hotspot count must be in 1..=ips"
+            );
+            (0..spots as usize)
+                .map(|k| ips[k * ips.len() / spots as usize])
+                .collect()
+        }
+        _ => Vec::new(),
+    };
+    let router_ips: Vec<Vec<IpId>> = match profile {
+        TrafficProfile::Transpose | TrafficProfile::BitComplement => {
+            let (cols, rows) = b
+                .topology()
+                .mesh_dims()
+                .expect("coordinate traffic profiles require a mesh topology");
+            if profile == TrafficProfile::Transpose {
+                assert_eq!(cols, rows, "transpose traffic requires a square mesh");
+            }
+            let mut map = vec![Vec::new(); b.topology().router_count()];
+            for &ip in &ips {
+                map[b.topology().ni_router(b.spec_ni(ip)).index()].push(ip);
+            }
+            map
+        }
+        _ => Vec::new(),
+    };
+
     // Remaining slot budget per directed link. A connection consumes its
     // estimated slot count on every link of its XY route; drawing against
     // this budget keeps the workload allocatable (see module docs).
@@ -582,7 +709,36 @@ pub fn try_random_workload_with(
             let si = rng.gen_range(0..ips.len());
             let src = ips[si];
             let dst = match &regional {
-                None => ips[rng.gen_range(0..ips.len())],
+                None => match profile {
+                    TrafficProfile::Uniform => ips[rng.gen_range(0..ips.len())],
+                    TrafficProfile::Hotspot { .. } => {
+                        // Classic hotspot mix: half the draws pile onto
+                        // the spots, half stay uniform (a pure hotspot
+                        // draw would exhaust the spots' NI budgets and
+                        // make every workload infeasible).
+                        if rng.gen::<f64>() < 0.5 {
+                            hotspots[rng.gen_range(0..hotspots.len())]
+                        } else {
+                            ips[rng.gen_range(0..ips.len())]
+                        }
+                    }
+                    TrafficProfile::Transpose | TrafficProfile::BitComplement => {
+                        let (cols, rows) = b.topology().mesh_dims().expect("mesh checked above");
+                        let r = b.topology().ni_router(b.spec_ni(src));
+                        let (x, y) = b.topology().coords(r).expect("mesh router");
+                        let (gx, gy) = if profile == TrafficProfile::Transpose {
+                            (y, x)
+                        } else {
+                            (cols - 1 - x, rows - 1 - y)
+                        };
+                        let target = b.topology().router_at(gx, gy).expect("mesh router");
+                        let pool = &router_ips[target.index()];
+                        if pool.is_empty() {
+                            continue; // no IP at the prescribed router
+                        }
+                        pool[rng.gen_range(0..pool.len())]
+                    }
+                },
                 Some((tile_ips, ip_tile)) => {
                     let pool = &tile_ips[ip_tile[si]];
                     if pool.len() < 2 {
@@ -897,6 +1053,96 @@ mod tests {
         assert_eq!((m.lat_min_ns, m.lat_max_ns), (1_000, 10_000));
         assert_eq!((m.bw_min_mb, m.bw_max_mb), (s.bw_min_mb, s.bw_max_mb));
         assert_eq!(m.ni_load_cap, s.ni_load_cap);
+    }
+
+    #[test]
+    fn uniform_profile_is_the_legacy_draw_bit_for_bit() {
+        let plain = WorkloadBuilder::mesh(4, 4, 2).connections(200).seed(17);
+        let profiled = plain.clone().profile(TrafficProfile::Uniform);
+        assert_eq!(plain.build().connections(), profiled.build().connections());
+    }
+
+    #[test]
+    fn hotspot_profile_concentrates_traffic_deterministically() {
+        let build = || {
+            WorkloadBuilder::mesh(4, 4, 2)
+                .connections(150)
+                .profile(TrafficProfile::Hotspot { spots: 4 })
+                .seed(23)
+                .build()
+        };
+        let spec = build();
+        assert_eq!(spec.connections(), build().connections(), "not pinned");
+        // The 4 spots sit on 4 of the 32 NIs; uniform traffic would land
+        // ~12% of destinations there, the hotspot mix well over 30%.
+        let mut by_ni = vec![0u32; spec.topology().ni_count()];
+        for c in spec.connections() {
+            by_ni[spec.ip_ni(c.dst).index()] += 1;
+        }
+        let mut counts = by_ni.clone();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top4: u32 = counts[..4].iter().sum();
+        assert!(
+            u64::from(top4) * 100 / spec.connections().len() as u64 >= 30,
+            "top-4 NIs hold only {top4}/150 destinations"
+        );
+    }
+
+    #[test]
+    fn transpose_profile_prescribes_the_mirror_router() {
+        let build = || {
+            WorkloadBuilder::mesh(4, 4, 2)
+                .connections(100)
+                .profile(TrafficProfile::Transpose)
+                .seed(31)
+                .build()
+        };
+        let spec = build();
+        assert_eq!(spec.connections(), build().connections(), "not pinned");
+        let topo = spec.topology();
+        for c in spec.connections() {
+            let (x, y) = topo.coords(topo.ni_router(spec.ip_ni(c.src))).unwrap();
+            let (dx, dy) = topo.coords(topo.ni_router(spec.ip_ni(c.dst))).unwrap();
+            assert_eq!((dx, dy), (y, x), "{c} is not transpose traffic");
+        }
+    }
+
+    #[test]
+    fn bit_complement_profile_crosses_the_mesh_centre() {
+        let build = || {
+            WorkloadBuilder::mesh(4, 3, 2)
+                .connections(80)
+                .profile(TrafficProfile::BitComplement)
+                .seed(37)
+                .build()
+        };
+        let spec = build();
+        assert_eq!(spec.connections(), build().connections(), "not pinned");
+        let topo = spec.topology();
+        for c in spec.connections() {
+            let (x, y) = topo.coords(topo.ni_router(spec.ip_ni(c.src))).unwrap();
+            let (dx, dy) = topo.coords(topo.ni_router(spec.ip_ni(c.dst))).unwrap();
+            assert_eq!((dx, dy), (3 - x, 2 - y), "{c} is not complement traffic");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be combined with tile locality")]
+    fn adversarial_profile_with_tiles_rejected() {
+        let _ = WorkloadBuilder::mesh(4, 4, 2)
+            .connections(10)
+            .tiles(2, 2)
+            .profile(TrafficProfile::Transpose)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "square mesh")]
+    fn transpose_on_rectangular_mesh_rejected() {
+        let _ = WorkloadBuilder::mesh(4, 3, 2)
+            .connections(10)
+            .profile(TrafficProfile::Transpose)
+            .build();
     }
 
     #[test]

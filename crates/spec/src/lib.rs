@@ -15,6 +15,8 @@
 //!   200-connection Section VII experiment.
 //! * [`churn`] — Poisson-arrival connection open/close/use-case-switch
 //!   traces for the online reconfiguration engine.
+//! * [`fault`] — seeded link/router failure-and-repair traces and their
+//!   interleaving with churn, for the online recovery engine.
 //!
 //! # Examples
 //!
@@ -36,6 +38,7 @@
 pub mod app;
 pub mod churn;
 pub mod config;
+pub mod fault;
 pub mod generate;
 pub mod ids;
 pub mod topology;
@@ -44,8 +47,13 @@ pub mod traffic;
 pub use app::{Application, Connection, SystemSpec, SystemSpecBuilder};
 pub use churn::{churn_trace, ChurnEvent, ChurnOp, ChurnParams, ChurnTrace};
 pub use config::NocConfig;
+pub use fault::{
+    fault_trace, FaultEvent, FaultOp, FaultParams, FaultScenario, FaultTrace, ScenarioEvent,
+    ScenarioOp,
+};
 pub use generate::{
-    paper_workload, random_workload, try_random_workload, WorkloadError, WorkloadParams,
+    paper_workload, random_workload, try_random_workload, TrafficProfile, WorkloadBuilder,
+    WorkloadError, WorkloadParams,
 };
 pub use ids::{AppId, ConnId, IpId, LinkId, NiId, Port, RouterId};
 pub use topology::{Endpoint, Link, PortTarget, Topology, TopologyBuilder};

@@ -1,0 +1,335 @@
+//! Fault-recovery trajectory: replays merged churn + fault scenarios
+//! through the [`FaultEngine`] over four traffic profiles — uniform and
+//! the three adversarial patterns ([`TrafficProfile`]) — and writes
+//! `BENCH_FAULT.json`, the robustness record future PRs track.
+//!
+//! Every outcome field (admissions, affected grants, recovery ladder
+//! split, drops, restorations) is deterministic — same seeds, same
+//! platform, same numbers on every machine — so the file doubles as a
+//! regression pin. Only the wall-clock columns (`replay_ms`,
+//! `events_per_sec`) vary by machine and are never gated.
+//!
+//! Run with `cargo run --release --example bench_fault`. Modes:
+//!
+//! * (no args) — replay everything, write `BENCH_FAULT.json`, assert
+//!   the recovery gates;
+//! * `--check` — no replay: re-validate the gates against the
+//!   committed `BENCH_FAULT.json`.
+
+use aelite_alloc::Allocation;
+use aelite_online::FaultEngine;
+use aelite_spec::app::SystemSpec;
+use aelite_spec::fault::{fault_trace, FaultParams, FaultScenario};
+use aelite_spec::generate::{TrafficProfile, WorkloadBuilder};
+use aelite_spec::ids::ConnId;
+use aelite_spec::{churn_trace, ChurnOp, ChurnParams, ScenarioOp};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED: u64 = 11;
+const CHURN_EVENTS: u32 = 240;
+const FAULT_EVENTS: u32 = 40;
+
+struct Row {
+    name: &'static str,
+    profile: &'static str,
+    connections: usize,
+    admitted: u32,
+    events: usize,
+    link_downs: u64,
+    link_ups: u64,
+    router_downs: u64,
+    router_ups: u64,
+    affected: u64,
+    survived: u64,
+    dropped: u64,
+    restored: u64,
+    refused_link_down: u64,
+    replay_ms: f64,
+}
+
+/// The bench platform under one traffic profile: an 8×8 mesh, 2 NIs
+/// per router, 200 connections — enough load that failures hit real
+/// traffic on every profile.
+fn bench_spec(profile: TrafficProfile) -> SystemSpec {
+    WorkloadBuilder::mesh(8, 8, 2)
+        .connections(200)
+        .apps(6)
+        .seed(SEED)
+        .profile(profile)
+        .build()
+}
+
+fn replay(name: &'static str, profile_name: &'static str, profile: TrafficProfile) -> Row {
+    let spec = bench_spec(profile);
+    let mut alloc = Allocation::empty_for(&spec);
+    let mut engine = FaultEngine::new(&spec);
+
+    // Populate through the engine itself (refusals are fine — the
+    // admitted set is what the scenario then stresses).
+    let mut admitted = 0u32;
+    for c in spec.connections() {
+        if engine.apply(&spec, &mut alloc, &ScenarioOp::Churn(ChurnOp::Open(c.id))) {
+            admitted += 1;
+        }
+    }
+
+    let churn = churn_trace(
+        &spec,
+        &ChurnParams {
+            events: CHURN_EVENTS,
+            ..ChurnParams::steady(CHURN_EVENTS)
+        },
+        SEED,
+    );
+    let faults = fault_trace(
+        spec.topology(),
+        &FaultParams {
+            events: FAULT_EVENTS,
+            rate_per_sec: 1.0e5,
+            ..FaultParams::sparse(FAULT_EVENTS)
+        },
+        SEED,
+    );
+    let scenario = FaultScenario::merge(&churn, &faults);
+
+    let t0 = Instant::now();
+    for e in &scenario.events {
+        engine.apply(&spec, &mut alloc, &e.op);
+    }
+    let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Post-replay sanity: the core invariant held (cheap full scan).
+    for g in alloc.grants() {
+        for &l in &g.links {
+            assert!(!engine.mask().is_down(l), "{} over a down link", g.conn);
+        }
+    }
+    let open: Vec<ConnId> = alloc.grants().map(|g| g.conn).collect();
+    aelite_alloc::validate_allocation(&spec.restricted_to_connections(&open), &alloc)
+        .expect("valid end state");
+
+    let s = *engine.stats();
+    let row = Row {
+        name,
+        profile: profile_name,
+        connections: spec.connections().len(),
+        admitted,
+        events: scenario.len(),
+        link_downs: s.link_downs,
+        link_ups: s.link_ups,
+        router_downs: s.router_downs,
+        router_ups: s.router_ups,
+        affected: s.affected,
+        survived: s.survived(),
+        dropped: s.dropped,
+        restored: s.restored,
+        refused_link_down: engine.engine().stats().refused_link_down,
+        replay_ms,
+    };
+    println!(
+        "{name:>15}: {admitted:3} admitted | {:3} events in {replay_ms:7.2} ms | \
+         affected {:3}: {:3} survived, {:2} dropped, {:2} restored",
+        row.events, row.affected, row.survived, row.dropped, row.restored,
+    );
+    row
+}
+
+/// Minimal field scanner for the committed JSON (`--check` mode): one
+/// `"key": value` pair per line, no JSON dependency.
+fn scan_rows(text: &str) -> Vec<std::collections::HashMap<String, String>> {
+    let mut rows = Vec::new();
+    let mut cur: Option<std::collections::HashMap<String, String>> = None;
+    for line in text.lines() {
+        let t = line.trim();
+        if t == "{" {
+            cur = Some(std::collections::HashMap::new());
+        } else if t.starts_with('}') {
+            if let Some(row) = cur.take() {
+                rows.push(row);
+            }
+        } else if let Some(row) = &mut cur {
+            if let Some((k, v)) = t.split_once(':') {
+                let k = k.trim().trim_matches('"').to_string();
+                let v = v.trim().trim_end_matches(',').trim_matches('"').to_string();
+                row.insert(k, v);
+            }
+        }
+    }
+    rows
+}
+
+fn field_u64(row: &std::collections::HashMap<String, String>, key: &str) -> u64 {
+    row.get(key)
+        .unwrap_or_else(|| panic!("committed JSON row missing {key}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("committed JSON field {key} unparsable: {e}"))
+}
+
+/// The gated outcome fields of one row (fresh or committed).
+struct Outcome {
+    connections: u64,
+    admitted: u64,
+    affected: u64,
+    survived: u64,
+    dropped: u64,
+    link_downs: u64,
+    router_downs: u64,
+}
+
+/// The recovery gates, applied to one row (fresh or committed):
+/// accounting closes, failures hit real traffic, most of the workload
+/// admits, and most affected grants keep service.
+fn assert_gates(name: &str, o: &Outcome) {
+    let Outcome {
+        connections,
+        admitted,
+        affected,
+        survived,
+        dropped,
+        link_downs,
+        router_downs,
+    } = *o;
+    assert_eq!(
+        survived + dropped,
+        affected,
+        "{name}: recovery accounting does not close"
+    );
+    assert!(
+        link_downs + router_downs > 0,
+        "{name}: scenario injected no failures"
+    );
+    assert!(affected > 0, "{name}: failures hit no traffic");
+    assert!(
+        admitted * 2 >= connections,
+        "{name}: under half the workload admitted ({admitted}/{connections})"
+    );
+    assert!(
+        survived * 2 >= affected,
+        "{name}: under half the affected grants kept service ({survived}/{affected})"
+    );
+}
+
+/// `--check`: re-assert every gate against the committed JSON.
+fn check_committed() {
+    let text = std::fs::read_to_string("BENCH_FAULT.json").expect("read BENCH_FAULT.json");
+    let rows = scan_rows(&text);
+    let profiles = ["uniform", "hotspot4", "transpose", "bit_complement"];
+    for name in profiles {
+        let row = rows
+            .iter()
+            .find(|r| r.get("name").map(String::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("committed JSON lacks the {name} row"));
+        assert_gates(
+            name,
+            &Outcome {
+                connections: field_u64(row, "connections"),
+                admitted: field_u64(row, "admitted"),
+                affected: field_u64(row, "affected"),
+                survived: field_u64(row, "survived"),
+                dropped: field_u64(row, "dropped"),
+                link_downs: field_u64(row, "link_downs"),
+                router_downs: field_u64(row, "router_downs"),
+            },
+        );
+    }
+    println!(
+        "BENCH_FAULT.json gates hold for all {} profiles",
+        profiles.len()
+    );
+}
+
+fn main() {
+    if let Some(arg) = std::env::args().nth(1) {
+        match arg.as_str() {
+            "--check" => return check_committed(),
+            other => panic!("unknown mode {other}; use --check"),
+        }
+    }
+
+    println!("fault recovery under churn (8x8 mesh, 200 connections, merged scenario)");
+    let rows = [
+        replay("uniform", "uniform random", TrafficProfile::Uniform),
+        replay(
+            "hotspot4",
+            "hotspot (4 spots, 50% of traffic)",
+            TrafficProfile::Hotspot { spots: 4 },
+        ),
+        replay(
+            "transpose",
+            "transpose (x,y)->(y,x)",
+            TrafficProfile::Transpose,
+        ),
+        replay(
+            "bit_complement",
+            "bit-complement (mirror across centre)",
+            TrafficProfile::BitComplement,
+        ),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"aelite-bench-fault/1\",\n");
+    json.push_str("  \"generated_by\": \"examples/bench_fault.rs\",\n");
+    json.push_str(
+        "  \"note\": \"outcome fields are seeded-deterministic and gated by --check; \
+         replay_ms and events_per_sec are wall-clock and never gated\",\n",
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", r.name).unwrap();
+        writeln!(json, "      \"profile\": \"{}\",", r.profile).unwrap();
+        writeln!(json, "      \"platform\": \"8x8 mesh, 2 NIs/router\",").unwrap();
+        writeln!(json, "      \"connections\": {},", r.connections).unwrap();
+        writeln!(json, "      \"admitted\": {},", r.admitted).unwrap();
+        writeln!(json, "      \"scenario_events\": {},", r.events).unwrap();
+        writeln!(json, "      \"link_downs\": {},", r.link_downs).unwrap();
+        writeln!(json, "      \"link_ups\": {},", r.link_ups).unwrap();
+        writeln!(json, "      \"router_downs\": {},", r.router_downs).unwrap();
+        writeln!(json, "      \"router_ups\": {},", r.router_ups).unwrap();
+        writeln!(json, "      \"affected\": {},", r.affected).unwrap();
+        writeln!(json, "      \"survived\": {},", r.survived).unwrap();
+        writeln!(json, "      \"dropped\": {},", r.dropped).unwrap();
+        writeln!(json, "      \"restored\": {},", r.restored).unwrap();
+        writeln!(
+            json,
+            "      \"refused_link_down\": {},",
+            r.refused_link_down
+        )
+        .unwrap();
+        writeln!(json, "      \"replay_ms\": {:.3},", r.replay_ms).unwrap();
+        writeln!(
+            json,
+            "      \"events_per_sec\": {:.0}",
+            r.events as f64 / (r.replay_ms / 1e3)
+        )
+        .unwrap();
+        write!(
+            json,
+            "    }}{}",
+            if i + 1 < rows.len() { ",\n" } else { "\n" }
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_FAULT.json", &json).expect("write BENCH_FAULT.json");
+    println!("\nwrote BENCH_FAULT.json");
+
+    for r in &rows {
+        assert_gates(
+            r.name,
+            &Outcome {
+                connections: r.connections as u64,
+                admitted: u64::from(r.admitted),
+                affected: r.affected,
+                survived: r.survived,
+                dropped: r.dropped,
+                link_downs: r.link_downs,
+                router_downs: r.router_downs,
+            },
+        );
+    }
+}

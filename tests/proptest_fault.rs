@@ -1,0 +1,208 @@
+//! Property-based tests of the fault-recovery engine: arbitrary
+//! interleavings of churn (open/close/switch) and fault
+//! (link/router down/up) operations never leave a granted route over a
+//! down link, keep every slot table in lock-step with its owners, keep
+//! the displaced ledger exact (grantless connections only), and — after
+//! repairing every link and closing every survivor — leave the platform
+//! fully free.
+
+use aelite_alloc::Allocation;
+use aelite_online::FaultEngine;
+use aelite_spec::app::SystemSpec;
+use aelite_spec::fault::{FaultOp, ScenarioOp};
+use aelite_spec::generate::{random_workload, WorkloadParams};
+use aelite_spec::ids::{AppId, ConnId, LinkId, RouterId};
+use aelite_spec::{ChurnOp, NocConfig, Topology};
+use proptest::prelude::*;
+
+/// A small but genuinely shared platform: 2×2 mesh, 2 NIs per router,
+/// 3 applications, 14 connections (as `tests/proptest_churn.rs`).
+fn small_spec(seed: u64) -> SystemSpec {
+    let params = WorkloadParams {
+        apps: 3,
+        connections: 14,
+        ips: 8,
+        bw_min_mb: 10,
+        bw_max_mb: 80,
+        lat_min_ns: 200,
+        lat_max_ns: 2_000,
+        message_bytes: 32,
+        ni_load_cap: 0.5,
+    };
+    random_workload(
+        Topology::mesh(2, 2, 2),
+        NocConfig::paper_default(),
+        params,
+        seed,
+    )
+}
+
+/// The engine-wide invariants that must hold after *every* operation.
+fn assert_fault_invariants(spec: &SystemSpec, engine: &FaultEngine, alloc: &Allocation) {
+    // The core contract: no granted route traverses a down link —
+    // through serial opens, switches, re-routes and re-homing alike.
+    for g in alloc.grants() {
+        for &l in &g.links {
+            assert!(
+                !engine.mask().is_down(l),
+                "{} granted over down link {l}",
+                g.conn
+            );
+        }
+    }
+    // The displaced ledger holds only grantless connections, each once.
+    for (i, &c) in engine.displaced().iter().enumerate() {
+        assert!(alloc.grant(c).is_none(), "displaced {c} holds a grant");
+        assert!(!engine.displaced()[..i].contains(&c), "{c} displaced twice");
+    }
+    // Slot tables in lock-step: the free mask and owner array agree,
+    // and every reserved slot belongs to a live grant.
+    let granted: Vec<ConnId> = alloc.grants().map(|g| g.conn).collect();
+    for li in 0..spec.topology().link_count() {
+        let table = alloc.link_table(LinkId::new(li as u32));
+        for s in 0..table.size() {
+            assert_eq!(
+                table.is_free(s),
+                table.owner(s).is_none(),
+                "link {li} slot {s}: free mask out of lock-step"
+            );
+            if let Some(owner) = table.owner(s) {
+                assert!(
+                    granted.contains(&owner),
+                    "link {li} slot {s}: owned by closed {owner}"
+                );
+            }
+        }
+    }
+    // Recovery accounting closes: every affected grant either survived
+    // (re-routed) or was dropped.
+    let s = engine.stats();
+    assert_eq!(s.survived() + s.dropped, s.affected);
+}
+
+/// One scripted operation, decoded from two proptest draws: mostly
+/// churn (as `tests/proptest_churn.rs`), with fault and repair events
+/// interleaved.
+fn apply_step(
+    spec: &SystemSpec,
+    engine: &mut FaultEngine,
+    alloc: &mut Allocation,
+    kind: u8,
+    pick: u16,
+) {
+    let topo = spec.topology();
+    match kind % 12 {
+        // Toggle a pseudo-random connection (the common single-op churn).
+        0..=6 => {
+            let conns = spec.connections();
+            let id = conns[pick as usize % conns.len()].id;
+            let op = if alloc.grant(id).is_some() {
+                ChurnOp::Close(id)
+            } else {
+                ChurnOp::Open(id)
+            };
+            engine.apply(spec, alloc, &ScenarioOp::Churn(op));
+        }
+        // Use-case switch: one app's granted set out, another's
+        // grantless set in (refusals roll back — that's the engine's
+        // contract, re-checked by the invariants).
+        7 => {
+            let apps = spec.apps().len() as u32;
+            let victim = AppId::new(u32::from(pick) % apps);
+            let incoming = AppId::new((u32::from(pick) + 1) % apps);
+            let close: Vec<ConnId> = spec
+                .app_connections(victim)
+                .filter(|c| alloc.grant(c.id).is_some())
+                .map(|c| c.id)
+                .collect();
+            let open: Vec<ConnId> = spec
+                .app_connections(incoming)
+                .filter(|c| alloc.grant(c.id).is_none())
+                .map(|c| c.id)
+                .collect();
+            engine.apply(
+                spec,
+                alloc,
+                &ScenarioOp::Churn(ChurnOp::Switch { close, open }),
+            );
+        }
+        // Fault and repair events on pseudo-random links and routers.
+        8 | 9 => {
+            let link = LinkId::new(u32::from(pick) % topo.link_count() as u32);
+            let op = if kind % 12 == 8 {
+                FaultOp::LinkDown(link)
+            } else {
+                FaultOp::LinkUp(link)
+            };
+            engine.apply(spec, alloc, &ScenarioOp::Fault(op));
+        }
+        _ => {
+            let router = RouterId::new(u32::from(pick) % topo.router_count() as u32);
+            let op = if kind % 12 == 10 {
+                FaultOp::RouterDown(router)
+            } else {
+                FaultOp::RouterUp(router)
+            };
+            engine.apply(spec, alloc, &ScenarioOp::Fault(op));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fault invariants hold after *every* operation of an
+    /// arbitrary churn/fault interleaving.
+    #[test]
+    fn interleaved_faults_never_grant_over_a_down_link(
+        seed in 0u64..4,
+        script in proptest::collection::vec((0u8..12, 0u16..1024), 1..40),
+    ) {
+        let spec = small_spec(seed);
+        let mut alloc = Allocation::empty_for(&spec);
+        let mut engine = FaultEngine::new(&spec);
+        for &(kind, pick) in &script {
+            apply_step(&spec, &mut engine, &mut alloc, kind, pick);
+            assert_fault_invariants(&spec, &engine, &alloc);
+        }
+    }
+
+    /// Repairing every link and closing every survivor (and settling
+    /// every displaced connection) returns the platform to fully free:
+    /// empty mask, empty ledger, no leaked reservation anywhere.
+    #[test]
+    fn repairing_and_draining_frees_every_slot(
+        seed in 0u64..4,
+        script in proptest::collection::vec((0u8..12, 0u16..1024), 1..30),
+    ) {
+        let spec = small_spec(seed);
+        let mut alloc = Allocation::empty_for(&spec);
+        let mut engine = FaultEngine::new(&spec);
+        for &(kind, pick) in &script {
+            apply_step(&spec, &mut engine, &mut alloc, kind, pick);
+        }
+
+        // Repair the world: every down link comes back up.
+        for li in 0..spec.topology().link_count() {
+            engine.link_up(&spec, &mut alloc, LinkId::new(li as u32));
+        }
+        prop_assert!(engine.mask().is_empty());
+
+        // Drain: close every grant; a close of a displaced connection
+        // settles it out of the ledger.
+        let open: Vec<ConnId> = alloc.grants().map(|g| g.conn).collect();
+        let parked: Vec<ConnId> = engine.displaced().to_vec();
+        for c in open.into_iter().chain(parked) {
+            engine.apply(&spec, &mut alloc, &ScenarioOp::Churn(ChurnOp::Close(c)));
+        }
+        prop_assert!(engine.displaced().is_empty(), "ledger not settled");
+
+        for li in 0..spec.topology().link_count() {
+            let table = alloc.link_table(LinkId::new(li as u32));
+            prop_assert_eq!(table.reserved_count(), 0, "link {} not drained", li);
+            for s in 0..table.size() {
+                prop_assert!(table.is_free(s) && table.owner(s).is_none());
+            }
+        }
+    }
+}
