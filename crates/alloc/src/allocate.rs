@@ -471,6 +471,9 @@ pub struct AllocScratch {
     chosen: Vec<u32>,
     /// Free-slot list materialised only on failure paths.
     all_free: Vec<u32>,
+    /// Candidate order under spare-capacity steering: `(bottleneck free
+    /// slots, candidate index)` pairs, rebuilt per admission.
+    route_order: Vec<(u32, u32)>,
     /// Recycled grants whose buffers the next admission reuses.
     spare: Vec<Grant>,
 }
@@ -531,6 +534,24 @@ pub struct AdmissionRound {
     conn_bound: usize,
 }
 
+/// How an admission orders the candidate routes it tries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Steering {
+    /// The route provider's native order: dimension-ordered routes
+    /// first, then detours — shortest paths get first pick. This is the
+    /// historical behaviour and the byte-stable default.
+    #[default]
+    ShortestFirst,
+    /// Spare-capacity steering: candidates are scored by the *bottleneck*
+    /// free-slot count along the route (the minimum
+    /// [`free_count`](crate::SlotTable::free_count) over its links) and
+    /// tried fullest-bottleneck-first, so admission biases away from
+    /// near-full links and a single link failure displaces fewer grants.
+    /// Ties break on the provider's candidate index, keeping the order —
+    /// and therefore every grant — replay-deterministic.
+    SpareCapacity,
+}
+
 /// Configuration of the allocation heuristic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Allocator {
@@ -543,17 +564,21 @@ pub struct Allocator {
     /// with the next salt, changing how slot phases are staggered across
     /// connections (a cheap deterministic rip-up-and-retry).
     pub phase_salts: &'static [u32],
+    /// Candidate-ordering mode; [`Steering::ShortestFirst`] preserves
+    /// the historical grants bit-for-bit.
+    pub steering: Steering,
 }
 
 impl Allocator {
     /// The default heuristic: up to 12 candidate paths, latency-aware,
-    /// with four phase-salt retries.
+    /// with four phase-salt retries, shortest-first candidate order.
     #[must_use]
     pub fn new() -> Self {
         Allocator {
             max_paths: 12,
             latency_aware: true,
             phase_salts: &[13, 7, 29, 47],
+            steering: Steering::ShortestFirst,
         }
     }
 
@@ -836,16 +861,51 @@ impl Allocator {
             work,
             chosen,
             all_free,
+            route_order,
             spare,
         } = scratch;
         let cand = cand.as_mut().expect("masks() sized the scratch");
         let work = work.as_mut().expect("masks() sized the scratch");
 
+        // Spare-capacity steering scores every (healthy) candidate by the
+        // bottleneck free-slot count along its route and tries the widest
+        // bottleneck first; the provider's candidate index breaks ties,
+        // so the order — and every grant — stays replay-deterministic.
+        // The default shortest-first mode skips this pass entirely and is
+        // bit-for-bit the historical behaviour.
+        let steered = self.steering == Steering::SpareCapacity;
+        if steered {
+            route_order.clear();
+            let mut i = 0usize;
+            while let Some(route) = routes.candidate(spec.topology(), src_ni, dst_ni, i) {
+                let bottleneck = route
+                    .links
+                    .iter()
+                    .map(|&l| alloc.link_tables[l.index()].free_count())
+                    .min()
+                    .unwrap_or(0);
+                route_order.push((bottleneck, i as u32));
+                i += 1;
+            }
+            route_order.sort_unstable_by_key(|&(free, i)| (core::cmp::Reverse(free), i));
+        }
+
         // Candidates are pulled from the cache one index at a time, so the
         // expensive detour enumeration only runs for connections that
         // exhaust the dimension-ordered routes.
         let mut tried = 0usize;
-        while let Some(route) = routes.candidate(spec.topology(), src_ni, dst_ni, tried) {
+        loop {
+            let idx = if steered {
+                match route_order.get(tried) {
+                    Some(&(_, i)) => i as usize,
+                    None => break,
+                }
+            } else {
+                tried
+            };
+            let Some(route) = routes.candidate(spec.topology(), src_ni, dst_ni, idx) else {
+                break;
+            };
             tried += 1;
             let links = &route.links;
             // Injection slots whose shifted positions are free on every
@@ -1104,7 +1164,7 @@ mod tests {
     use aelite_spec::app::SystemSpecBuilder;
     use aelite_spec::config::NocConfig;
     use aelite_spec::ids::NiId;
-    use aelite_spec::topology::Topology;
+    use aelite_spec::topology::{Endpoint, Topology};
     use aelite_spec::traffic::Bandwidth;
 
     /// Old-signature adapters for the kernel pin tests.
@@ -1273,6 +1333,91 @@ mod tests {
         }
         assert!(alloc.peak_utilisation() <= 1.0);
         assert!(alloc.mean_loaded_utilisation() > 0.0);
+    }
+
+    #[test]
+    fn spare_capacity_steering_is_valid_and_deterministic() {
+        let spec = aelite_spec::generate::paper_workload(42);
+        let steered = Allocator {
+            steering: Steering::SpareCapacity,
+            ..Allocator::new()
+        };
+        let a = steered.allocate(&spec).expect("steered allocation");
+        let b = steered.allocate(&spec).expect("steered allocation");
+        crate::validate_allocation(&spec, &a).expect("steered grants valid");
+        // Replay-deterministic: the scored order has a total tiebreak.
+        for c in spec.connections() {
+            assert_eq!(
+                a.grant(c.id).map(|g| (&g.links, &g.inject_slots)),
+                b.grant(c.id).map(|g| (&g.links, &g.inject_slots)),
+            );
+            assert!(
+                a.allocated_bandwidth(&spec, c.id).bytes_per_sec() >= c.bandwidth.bytes_per_sec()
+            );
+        }
+        // The default mode is byte-stable: an explicit ShortestFirst
+        // allocator is the plain allocator.
+        assert_eq!(
+            Allocator::new(),
+            Allocator {
+                steering: Steering::ShortestFirst,
+                ..Allocator::new()
+            }
+        );
+    }
+
+    #[test]
+    fn steering_routes_around_a_loaded_link() {
+        // 2×2 mesh, one NI per router, one connection corner-to-corner:
+        // the XY candidate crosses router 1, the YX candidate router 2.
+        // Pre-loading the r0→r1 link must push the steered admission
+        // onto the YX detour while shortest-first stays on XY.
+        let topo = Topology::mesh(2, 2, 1);
+        let mut b = SystemSpecBuilder::new(topo, NocConfig::paper_default());
+        let app = b.add_app("app");
+        let a = b.add_ip_at(NiId::new(0));
+        let z = b.add_ip_at(NiId::new(3));
+        b.add_connection(app, a, z, Bandwidth::from_mbytes_per_sec(50), 100_000);
+        let spec = b.build();
+        let conn = spec.connections()[0].id;
+
+        let east = spec
+            .topology()
+            .links()
+            .find(|&l| {
+                let link = spec.topology().link(l);
+                matches!(link.from, Endpoint::Router(r, _) if r.index() == 0)
+                    && matches!(link.to, Endpoint::Router(r, _) if r.index() == 1)
+            })
+            .expect("2x2 mesh has an r0->r1 link");
+
+        let mut scratch = AllocScratch::new();
+        let load = ConnId::new(1); // phantom occupant of the east link
+        for allocator in [
+            Allocator::new(),
+            Allocator {
+                steering: Steering::SpareCapacity,
+                ..Allocator::new()
+            },
+        ] {
+            let mut alloc = Allocation::empty(&spec);
+            for s in 0..alloc.table_size / 2 {
+                alloc.link_tables[east.index()].reserve(s, load).unwrap();
+            }
+            let mut routes = RouteCache::new(spec.topology(), allocator.max_paths);
+            allocator
+                .admit(&spec, &mut alloc, conn, &mut routes, &mut scratch)
+                .expect("plenty of capacity on either candidate");
+            let grant = alloc.grant(conn).unwrap();
+            let crosses_loaded = grant.links.contains(&east);
+            assert_eq!(
+                crosses_loaded,
+                allocator.steering == Steering::ShortestFirst,
+                "{:?} picked links {:?}",
+                allocator.steering,
+                grant.links
+            );
+        }
     }
 
     #[test]

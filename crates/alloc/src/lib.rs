@@ -43,7 +43,7 @@ pub mod validate;
 
 pub use allocate::{
     admission_order, allocate, estimate_slots, AdmissionRound, AllocError, AllocScratch,
-    Allocation, Allocator, Grant,
+    Allocation, Allocator, Grant, Steering,
 };
 pub use mask::SlotMask;
 pub use path::{dimension_ordered, route_candidates, Path, PathError};

@@ -282,6 +282,14 @@ impl SlotTable {
         self.size() - self.free.count()
     }
 
+    /// Number of unreserved slots — the table's spare capacity, used by
+    /// the allocator's spare-capacity steering to score candidate
+    /// routes by their bottleneck link.
+    #[must_use]
+    pub fn free_count(&self) -> u32 {
+        self.free.count()
+    }
+
     /// Fraction of the table that is reserved, in `[0, 1]`.
     #[must_use]
     pub fn utilisation(&self) -> f64 {

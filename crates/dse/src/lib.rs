@@ -25,8 +25,15 @@
 //!   point is driven through `aelite_online`'s [`ChurnEngine`] under a
 //!   Poisson open/close/use-case-switch trace, reporting its admission
 //!   outcome and sustained churn rate alongside area and throughput.
+//! * [`fault`] — the robustness scenario: every Pareto-front point is
+//!   replayed through the [`FaultEngine`] under a seeded merged churn +
+//!   fault trace (failures, repairs, transient glitches); the resulting
+//!   deterministic admission/displacement counts are folded into
+//!   `DSE_REPORT.json` (schema `aelite-dse-report/2`) and gated by
+//!   `dse_sweep --check`.
 //!
 //! [`ChurnEngine`]: aelite_online::ChurnEngine
+//! [`FaultEngine`]: aelite_online::FaultEngine
 //!
 //! Determinism is the design constraint throughout: every per-point
 //! quantity is a pure function of the point's coordinates, so the same
@@ -62,12 +69,14 @@
 
 pub mod churn;
 pub mod engine;
+pub mod fault;
 pub mod grid;
 pub mod pareto;
 pub mod report;
 pub mod validate;
 
 pub use engine::{evaluate_point, run_sweep, PointOutcome, PointResult};
+pub use fault::{fault_front, fault_point, FaultScenarioPoint};
 pub use grid::{DesignPoint, DseGrid, MeshDim, TrafficMix, PAPER_POINT_ID};
 pub use pareto::{dominates, pareto_front, Candidate};
 pub use report::{check_report_text, DseReport, REPORT_SCHEMA};

@@ -8,12 +8,15 @@
 //! worker count, which CI and `tests/dse_determinism.rs` rely on.
 
 use crate::engine::{PointOutcome, PointResult};
+use crate::fault::{fault_front, FaultScenarioPoint};
 use crate::grid::PAPER_POINT_ID;
 use crate::pareto::{pareto_front, Candidate};
 use std::fmt::Write as _;
 
-/// The schema tag stamped into every report.
-pub const REPORT_SCHEMA: &str = "aelite-dse-report/1";
+/// The schema tag stamped into every report. Schema 2 folds the
+/// deterministic fault-scenario counts of every Pareto-front point into
+/// the report (`fault_scenarios`); wall-clock rates stay out.
+pub const REPORT_SCHEMA: &str = "aelite-dse-report/2";
 
 /// A completed sweep: every point's result plus the derived fronts and
 /// aggregates.
@@ -26,6 +29,10 @@ pub struct DseReport {
     /// Indices (into [`points`](Self::points)) of the area-vs-guaranteed-
     /// throughput Pareto front, computed over fully-allocated points.
     pub pareto: Vec<usize>,
+    /// Deterministic fault-scenario verdicts of the front, in front
+    /// order (see [`crate::fault`]); filled by
+    /// [`attach_fault_scenarios`](Self::attach_fault_scenarios).
+    pub fault: Vec<FaultScenarioPoint>,
 }
 
 impl DseReport {
@@ -55,7 +62,16 @@ impl DseReport {
             grid: grid.to_string(),
             points,
             pareto,
+            fault: Vec::new(),
         }
+    }
+
+    /// Runs the seeded fault scenario on every Pareto-front point and
+    /// stores the deterministic verdicts (see [`crate::fault`]) for
+    /// serialization. Idempotent in outcome: the counts are pure
+    /// functions of the front's coordinates.
+    pub fn attach_fault_scenarios(&mut self) {
+        self.fault = fault_front(self);
     }
 
     /// Count of points with the given outcome.
@@ -107,7 +123,9 @@ impl DseReport {
              mix) coordinate; outcome 'full' = every drawn connection got a contention-free \
              grant, 'partial' = hardest-first admission kept a subset, 'workload_infeasible' \
              = the profile's draw budgets overflow the platform; the Pareto front minimises \
-             area_mm2 and maximises guaranteed_throughput_gbytes over 'full' points\",\n",
+             area_mm2 and maximises guaranteed_throughput_gbytes over 'full' points; \
+             fault_scenarios replays each front point through a seeded merged churn + fault \
+             trace — every count is deterministic, wall-clock rates stay out\",\n",
         );
         writeln!(j, "  \"grid\": \"{}\",", self.grid).unwrap();
         writeln!(j, "  \"point_count\": {},", self.points.len()).unwrap();
@@ -141,6 +159,34 @@ impl DseReport {
             write!(j, "{sep}\"{}\"", self.points[i].point.id()).unwrap();
         }
         j.push_str("],\n");
+        j.push_str("  \"fault_scenarios\": [\n");
+        for (i, f) in self.fault.iter().enumerate() {
+            j.push_str("    {\n");
+            writeln!(j, "      \"id\": \"{}\",", f.id).unwrap();
+            writeln!(j, "      \"connections\": {},", f.connections).unwrap();
+            writeln!(j, "      \"admitted\": {},", f.admitted).unwrap();
+            writeln!(j, "      \"scenario_events\": {},", f.events).unwrap();
+            writeln!(j, "      \"link_downs\": {},", f.link_downs).unwrap();
+            writeln!(j, "      \"router_downs\": {},", f.router_downs).unwrap();
+            writeln!(j, "      \"glitches\": {},", f.glitches).unwrap();
+            writeln!(j, "      \"escalated\": {},", f.escalated).unwrap();
+            writeln!(j, "      \"affected\": {},", f.affected).unwrap();
+            writeln!(j, "      \"survived\": {},", f.survived).unwrap();
+            writeln!(j, "      \"dropped\": {},", f.dropped).unwrap();
+            writeln!(j, "      \"restored\": {},", f.restored).unwrap();
+            writeln!(j, "      \"refused_link_down\": {}", f.refused_link_down).unwrap();
+            write!(
+                j,
+                "    }}{}",
+                if i + 1 < self.fault.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                }
+            )
+            .unwrap();
+        }
+        j.push_str("  ],\n");
         j.push_str("  \"points\": [\n");
         let on_front: Vec<bool> = {
             let mut v = vec![false; self.points.len()];
@@ -355,6 +401,31 @@ impl DseReport {
                 "full points but empty Pareto front"
             );
         }
+        if !self.fault.is_empty() {
+            assert_eq!(
+                self.fault.len(),
+                self.pareto.len(),
+                "fault scenarios do not cover the Pareto front"
+            );
+            for (f, &i) in self.fault.iter().zip(&self.pareto) {
+                assert_eq!(
+                    f.id,
+                    self.points[i].point.id(),
+                    "fault scenario out of front order"
+                );
+                assert_eq!(
+                    f.survived + f.dropped,
+                    f.affected,
+                    "{}: fault recovery accounting does not close",
+                    f.id
+                );
+                assert!(
+                    f.escalated <= f.glitches,
+                    "{}: more escalations than glitches",
+                    f.id
+                );
+            }
+        }
     }
 }
 
@@ -376,6 +447,13 @@ pub fn check_report_text(json: &str) -> Result<(), String> {
     let after = &json[pareto_at + "\"pareto_front\": [".len()..];
     if after.trim_start().starts_with(']') {
         return Err("empty pareto_front".into());
+    }
+    let Some(fault_at) = json.find("\"fault_scenarios\": [") else {
+        return Err("missing fault_scenarios (schema 2 folds the fault verdicts in)".into());
+    };
+    let after = &json[fault_at + "\"fault_scenarios\": [".len()..];
+    if after.trim_start().starts_with(']') {
+        return Err("empty fault_scenarios — the front's fault verdicts must be committed".into());
     }
     let Some(paper_at) = json.find(&format!("\"id\": \"{PAPER_POINT_ID}\"")) else {
         return Err(format!("missing paper platform point {PAPER_POINT_ID}"));
@@ -419,11 +497,13 @@ mod tests {
 
     #[test]
     fn tiny_sweep_report_is_consistent_and_serializes() {
-        let report = run_sweep(&tiny_grid(), 2);
+        let mut report = run_sweep(&tiny_grid(), 2);
+        report.attach_fault_scenarios();
         report.assert_gates();
         assert_eq!(report.points.len(), 2);
         let json = report.to_json();
         assert!(json.contains(REPORT_SCHEMA));
+        assert!(json.contains("\"fault_scenarios\": [\n    {"));
         assert!(json.ends_with("}\n"));
         // Balanced braces — a cheap well-formedness smoke test.
         assert_eq!(
@@ -441,6 +521,8 @@ mod tests {
         // A minimal synthetic report exercising every gate path.
         let good = format!(
             "{{\n  \"schema\": \"{REPORT_SCHEMA}\",\n  \"pareto_front\": [\"x\"],\n  \
+             \"fault_scenarios\": [\n    {{\n      \"id\": \"x\",\n      \
+             \"affected\": 3\n    }}\n  ],\n  \
              \"points\": [\n    {{\n      \"id\": \"{PAPER_POINT_ID}\",\n      \
              \"alloc_success_rate\": 1.000\n    }}\n  ]\n}}\n"
         );
@@ -448,8 +530,22 @@ mod tests {
 
         let bad_schema = good.replace(REPORT_SCHEMA, "aelite-dse-report/0");
         assert!(check_report_text(&bad_schema).is_err());
-        let empty_front = good.replace("[\"x\"]", "[]");
+        let empty_front = good.replace("\"pareto_front\": [\"x\"]", "\"pareto_front\": []");
         assert!(check_report_text(&empty_front).is_err());
+        let no_fault = good.replace("\"fault_scenarios\"", "\"fault_scenario\"");
+        assert!(check_report_text(&no_fault).unwrap_err().contains("fault"));
+        let empty_fault = {
+            let start = good.find("\"fault_scenarios\": [").unwrap();
+            let end = good[start..].find(']').unwrap() + start;
+            format!(
+                "{}{}",
+                &good[..start + "\"fault_scenarios\": [".len()],
+                &good[end..]
+            )
+        };
+        assert!(check_report_text(&empty_fault)
+            .unwrap_err()
+            .contains("empty"));
         let partial_paper = good.replace("1.000", "0.950");
         assert!(check_report_text(&partial_paper)
             .unwrap_err()

@@ -52,6 +52,25 @@ impl ChurnStats {
     pub fn refusals(&self) -> u64 {
         self.refused_opens + self.refused_closes + self.refused_switches
     }
+
+    /// Field-wise difference `self - before` — the counters accumulated
+    /// *since* a snapshot taken earlier from the same engine. Callers
+    /// that warm an engine up and then measure a window (the
+    /// `aelite-serve` replay pipeline) report this delta rather than the
+    /// lifetime totals.
+    #[must_use]
+    pub fn delta(&self, before: &ChurnStats) -> ChurnStats {
+        ChurnStats {
+            setups: self.setups - before.setups,
+            teardowns: self.teardowns - before.teardowns,
+            switches: self.switches - before.switches,
+            refused_opens: self.refused_opens - before.refused_opens,
+            refused_closes: self.refused_closes - before.refused_closes,
+            refused_switches: self.refused_switches - before.refused_switches,
+            rolled_back_opens: self.rolled_back_opens - before.rolled_back_opens,
+            refused_link_down: self.refused_link_down - before.refused_link_down,
+        }
+    }
 }
 
 /// A high-throughput online reconfiguration engine for one platform.

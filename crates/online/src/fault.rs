@@ -34,10 +34,42 @@
 //! Each event yields a [`RecoveryReport`]; [`FaultStats`] accumulates
 //! them. Bystander grants are never touched on any rung — undisturbed
 //! service under failure is structural, not best-effort.
+//!
+//! # Transient faults
+//!
+//! Real interconnects mostly see *glitches*: a link misbehaves for
+//! microseconds and recovers on its own. Displacing traffic for those
+//! would be pure churn, so the engine holds a **persistence threshold**
+//! ([`set_persistence_threshold_ns`](FaultEngine::set_persistence_threshold_ns)):
+//! a [`FaultOp::LinkGlitch`] shorter than the threshold only *masks*
+//! admission — new opens over the link refuse with
+//! [`RefusalCause::LinkDown`](crate::RefusalCause::LinkDown), but every
+//! standing grant keeps its slots, so a sub-threshold glitch displaces
+//! **zero** connections and leaves every slot table bit-for-bit
+//! unchanged. A glitch at or past the threshold (or a permanent
+//! [`FaultOp::LinkDown`] landing on a glitched link) *escalates*: the
+//! recovery ladder runs exactly as for a permanent failure, and when the
+//! glitch self-clears the capacity is restored like a repair. Glitch
+//! expiry is driven by the engine's clock
+//! ([`advance_to`](FaultEngine::advance_to) /
+//! [`apply_event`](FaultEngine::apply_event)).
+//!
+//! # Deferred batch repair
+//!
+//! Under [`RepairPolicy::Deferred`], repair events shrink the mask
+//! immediately (new admissions may use the capacity at once) but queue
+//! the re-homing of the displaced ledger; the queue is drained as **one**
+//! batched admission round ([`drain_repairs`](FaultEngine::drain_repairs),
+//! built on [`ChurnEngine::submit_batch`] and its hardest-first canonical
+//! order), so a burst of simultaneous repairs re-homes the ledger once
+//! instead of N times. Both policies share the same batched re-home code
+//! path, so deferred and immediate repair produce identical survivor
+//! sets.
 
+use crate::api::{AdmissionError, AdmissionRequest, AdmissionResponse};
 use crate::engine::{ChurnEngine, RerouteOutcome};
 use aelite_alloc::{admission_order, Allocation, FaultMask};
-use aelite_spec::fault::{FaultOp, ScenarioOp};
+use aelite_spec::fault::{FaultOp, ScenarioEvent, ScenarioOp};
 use aelite_spec::ids::{ConnId, LinkId, RouterId};
 use aelite_spec::topology::{Endpoint, Topology};
 use aelite_spec::ChurnOp;
@@ -59,6 +91,11 @@ pub struct RecoveryReport {
     pub dropped: u32,
     /// Previously displaced connections re-homed by this repair event.
     pub restored: u32,
+    /// Displaced connections whose re-homing this repair event *queued*
+    /// (under [`RepairPolicy::Deferred`]) instead of performing; the
+    /// next [`drain_repairs`](FaultEngine::drain_repairs) services them
+    /// in one batched round and reports them as `restored`.
+    pub deferred: u32,
 }
 
 impl RecoveryReport {
@@ -66,6 +103,17 @@ impl RecoveryReport {
     #[must_use]
     pub fn survived(&self) -> u32 {
         self.make_before_break + self.break_then_make
+    }
+
+    /// Accumulates `r` into `self` (used when one clock advance services
+    /// several expiries).
+    fn add(&mut self, r: &RecoveryReport) {
+        self.affected += r.affected;
+        self.make_before_break += r.make_before_break;
+        self.break_then_make += r.break_then_make;
+        self.dropped += r.dropped;
+        self.restored += r.restored;
+        self.deferred += r.deferred;
     }
 }
 
@@ -90,6 +138,20 @@ pub struct FaultStats {
     pub dropped: u64,
     /// Total displaced connections re-homed by repairs.
     pub restored: u64,
+    /// Transient glitch events applied (sub-threshold and escalated).
+    pub glitches: u64,
+    /// Glitches at or past the persistence threshold: they ran the
+    /// recovery ladder like a permanent failure.
+    pub escalated: u64,
+    /// Glitches that self-cleared at expiry (no permanent fault landed
+    /// on them first).
+    pub glitch_expiries: u64,
+    /// Repair events whose re-homing was queued under
+    /// [`RepairPolicy::Deferred`].
+    pub deferred_repairs: u64,
+    /// Deferred drain rounds executed — each one batched admission
+    /// round over the whole displaced ledger.
+    pub repair_drains: u64,
 }
 
 impl FaultStats {
@@ -119,29 +181,85 @@ fn router_links(topo: &Topology, router: RouterId, out: &mut Vec<LinkId>) {
     }));
 }
 
+/// When a repair event re-homes the displaced ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairPolicy {
+    /// Re-home immediately, on the repair event itself — the historical
+    /// behaviour.
+    #[default]
+    Immediate,
+    /// Shrink the mask immediately but queue the re-homing; the queue is
+    /// drained as **one** batched admission round by
+    /// [`drain_repairs`](FaultEngine::drain_repairs) (or automatically
+    /// when the clock advances past the queued repairs in
+    /// [`apply_event`](FaultEngine::apply_event)), so simultaneous
+    /// repairs re-home the ledger once instead of N times.
+    Deferred,
+}
+
+/// Default persistence threshold: glitches shorter than 10 µs are
+/// masked without displacing any grant.
+pub const DEFAULT_PERSISTENCE_NS: u64 = 10_000;
+
+/// One active transient glitch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Glitch {
+    expires_ns: u64,
+    link: LinkId,
+    /// Whether the glitch crossed the persistence threshold and ran the
+    /// recovery ladder (its expiry then restores capacity like a
+    /// repair).
+    escalated: bool,
+}
+
 /// A recovery engine: a [`ChurnEngine`] plus the fault mask it admits
 /// under, the displaced-connection ledger, and the event counters. See
-/// the [module docs](self) for the recovery ladder.
+/// the [module docs](self) for the recovery ladder, the transient-fault
+/// model and the repair policies.
 ///
 /// Ordinary churn flows through [`apply`](Self::apply) (or the wrapped
 /// engine's own API between events); fault events flow through
 /// [`link_down`](Self::link_down) / [`link_up`](Self::link_up) /
-/// [`router_down`](Self::router_down) / [`router_up`](Self::router_up).
+/// [`router_down`](Self::router_down) / [`router_up`](Self::router_up) /
+/// [`link_glitch`](Self::link_glitch).
 /// The mask must only be changed through this engine — installing a
 /// different mask directly on the inner engine would desynchronise the
 /// displaced ledger.
+///
+/// Two masks are maintained: [`mask`](Self::mask) holds **every**
+/// currently-down link (permanent and glitched) and is what admission
+/// filters against; [`enforced`](Self::enforced) holds only the links
+/// whose standing grants were displaced (permanent faults and escalated
+/// glitches). A link in `mask` but not in `enforced` is a sub-threshold
+/// glitch: no new grant may cross it, but existing grants ride it out.
 #[derive(Debug)]
 pub struct FaultEngine {
     engine: ChurnEngine,
     mask: FaultMask,
+    /// Links no standing grant may traverse (recovery ran for them);
+    /// a subset of `mask`.
+    enforced: FaultMask,
+    policy: RepairPolicy,
+    threshold_ns: u64,
+    now_ns: u64,
+    /// Active transient glitches, unordered; expiry processing sorts by
+    /// `(expires_ns, link)` so clearance is deterministic.
+    glitches: Vec<Glitch>,
+    /// Scratch for expiry processing.
+    expired: Vec<Glitch>,
+    /// Whether deferred repairs are queued for the next drain.
+    repairs_pending: bool,
     stats: FaultStats,
     /// Connections dropped by failures that the workload still holds
     /// open: candidates for re-homing on the next repair event.
     displaced: Vec<ConnId>,
-    /// Reusable affected-grant / re-home order buffer.
+    /// Reusable affected-grant order buffer.
     order: Vec<ConnId>,
     /// Reusable adjacent-links buffer for router events.
     links: Vec<LinkId>,
+    /// Reusable re-home request/verdict buffers for the batched round.
+    requests: Vec<AdmissionRequest>,
+    verdicts: Vec<Result<AdmissionResponse, AdmissionError>>,
 }
 
 impl FaultEngine {
@@ -154,18 +272,71 @@ impl FaultEngine {
 
     /// A recovery engine over a caller-configured churn engine (custom
     /// allocator or route provider). Any fault mask already installed on
-    /// `engine` becomes the starting mask.
+    /// `engine` becomes the starting mask (treated as permanent).
     #[must_use]
     pub fn with_engine(engine: ChurnEngine) -> Self {
         let mask = engine.faults().clone();
+        let enforced = mask.clone();
         FaultEngine {
             engine,
             mask,
+            enforced,
+            policy: RepairPolicy::Immediate,
+            threshold_ns: DEFAULT_PERSISTENCE_NS,
+            now_ns: 0,
+            glitches: Vec::new(),
+            expired: Vec::new(),
+            repairs_pending: false,
             stats: FaultStats::default(),
             displaced: Vec::new(),
             order: Vec::new(),
             links: Vec::new(),
+            requests: Vec::new(),
+            verdicts: Vec::new(),
         }
+    }
+
+    /// The repair policy (immediate or deferred re-homing).
+    #[must_use]
+    pub fn policy(&self) -> RepairPolicy {
+        self.policy
+    }
+
+    /// Sets the repair policy. Switching from
+    /// [`Deferred`](RepairPolicy::Deferred) to
+    /// [`Immediate`](RepairPolicy::Immediate) does **not** drain an
+    /// already-queued repair — call
+    /// [`drain_repairs`](Self::drain_repairs) first if that matters.
+    pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
+        self.policy = policy;
+    }
+
+    /// The persistence threshold in nanoseconds: glitches shorter than
+    /// this only mask admission and displace nothing.
+    #[must_use]
+    pub fn persistence_threshold_ns(&self) -> u64 {
+        self.threshold_ns
+    }
+
+    /// Sets the persistence threshold (applies to glitches serviced
+    /// from now on).
+    pub fn set_persistence_threshold_ns(&mut self, threshold_ns: u64) {
+        self.threshold_ns = threshold_ns;
+    }
+
+    /// The engine's clock: the timestamp of the latest
+    /// [`advance_to`](Self::advance_to) (or
+    /// [`apply_event`](Self::apply_event)).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Whether deferred repairs are queued for the next
+    /// [`drain_repairs`](Self::drain_repairs).
+    #[must_use]
+    pub fn repairs_pending(&self) -> bool {
+        self.repairs_pending
     }
 
     /// The wrapped churn engine (e.g. for its [`ChurnStats`] refusal
@@ -178,10 +349,20 @@ impl FaultEngine {
         &self.engine
     }
 
-    /// The current fault mask (the set of down links).
+    /// The current fault mask: **every** down link, permanent and
+    /// glitched alike. This is what admission filters against.
     #[must_use]
     pub fn mask(&self) -> &FaultMask {
         &self.mask
+    }
+
+    /// The enforced mask: the links whose standing grants were
+    /// displaced (permanent faults and escalated glitches). No grant
+    /// ever traverses a link in this mask; a grant *may* ride out a
+    /// sub-threshold glitch, i.e. a link in [`mask`](Self::mask) only.
+    #[must_use]
+    pub fn enforced(&self) -> &FaultMask {
+        &self.enforced
     }
 
     /// Event and recovery totals since the engine was created.
@@ -200,7 +381,10 @@ impl FaultEngine {
     /// Services one link failure: masks `link`, then walks every grant
     /// routed over it down the recovery ladder (make-before-break,
     /// break-then-make, drop-and-park), hardest connection first. A
-    /// repeat failure of an already-down link is a no-op.
+    /// repeat failure of an already-down link is a no-op; a permanent
+    /// failure of a *glitched* link escalates it (the glitch will not
+    /// self-clear any more, and if it was sub-threshold its grants are
+    /// displaced now).
     ///
     /// # Panics
     ///
@@ -211,15 +395,20 @@ impl FaultEngine {
         alloc: &mut Allocation,
         link: LinkId,
     ) -> RecoveryReport {
-        if !self.mask.set_down(link) {
+        // A permanent failure subsumes any active glitch on the link.
+        self.cancel_glitch(link);
+        if !self.enforced.set_down(link) {
             return RecoveryReport::default();
         }
+        self.mask.set_down(link);
         self.stats.link_downs += 1;
         self.recover(spec, alloc, &[link])
     }
 
-    /// Services one link repair: unmasks `link` and re-homes displaced
-    /// connections that now fit, hardest first. A repair of a link that
+    /// Services one link repair: unmasks `link` (clearing any glitch on
+    /// it) and re-homes displaced connections that now fit — on the
+    /// event under [`RepairPolicy::Immediate`], queued for the next
+    /// drain under [`RepairPolicy::Deferred`]. A repair of a link that
     /// is not down is a no-op.
     ///
     /// # Panics
@@ -231,11 +420,14 @@ impl FaultEngine {
         alloc: &mut Allocation,
         link: LinkId,
     ) -> RecoveryReport {
-        if !self.mask.set_up(link) {
+        let had_glitch = self.cancel_glitch(link).is_some();
+        let was_enforced = self.enforced.set_up(link);
+        let was_masked = self.mask.set_up(link);
+        if !(was_masked || was_enforced || had_glitch) {
             return RecoveryReport::default();
         }
         self.stats.link_ups += 1;
-        self.rehome(spec, alloc)
+        self.finish_repair(spec, alloc)
     }
 
     /// Services a whole-router failure: every adjacent link still up
@@ -254,7 +446,16 @@ impl FaultEngine {
     ) -> RecoveryReport {
         let mut links = core::mem::take(&mut self.links);
         router_links(spec.topology(), router, &mut links);
-        links.retain(|&l| self.mask.set_down(l));
+        // The router failure subsumes any glitch on an adjacent link,
+        // and enforces links that were only glitch-masked so far.
+        links.retain(|&l| {
+            self.cancel_glitch(l);
+            let newly = self.enforced.set_down(l);
+            if newly {
+                self.mask.set_down(l);
+            }
+            newly
+        });
         let report = if links.is_empty() {
             RecoveryReport::default()
         } else {
@@ -280,15 +481,176 @@ impl FaultEngine {
     ) -> RecoveryReport {
         let mut links = core::mem::take(&mut self.links);
         router_links(spec.topology(), router, &mut links);
-        links.retain(|&l| self.mask.set_up(l));
+        links.retain(|&l| {
+            let had_glitch = self.cancel_glitch(l).is_some();
+            let was_enforced = self.enforced.set_up(l);
+            let was_masked = self.mask.set_up(l);
+            was_masked || was_enforced || had_glitch
+        });
         let report = if links.is_empty() {
             RecoveryReport::default()
         } else {
             self.stats.router_ups += 1;
-            self.rehome(spec, alloc)
+            self.finish_repair(spec, alloc)
         };
         self.links = links;
         report
+    }
+
+    /// Services one transient glitch: `link` is down for `duration_ns`
+    /// from the engine's current time, then recovers on its own (at the
+    /// next clock advance past the expiry).
+    ///
+    /// Below the persistence threshold the glitch only *masks*: new
+    /// admissions over the link refuse, standing grants keep their
+    /// slots, zero connections are displaced and every slot table is
+    /// bit-for-bit unchanged. At or past the threshold the glitch
+    /// *escalates* — the recovery ladder runs exactly as for
+    /// [`link_down`](Self::link_down), and the expiry restores capacity
+    /// like a repair. A glitch on an already (permanently) down link is
+    /// a no-op; a glitch on an already-glitched link extends the expiry
+    /// and may escalate it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`ChurnEngine::submit`].
+    pub fn link_glitch(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        link: LinkId,
+        duration_ns: u64,
+    ) -> RecoveryReport {
+        let expires_ns = self.now_ns.saturating_add(duration_ns);
+        let escalates = duration_ns >= self.threshold_ns;
+        if let Some(g) = self.glitches.iter_mut().find(|g| g.link == link) {
+            // Repeat glitch on an active one: extend, maybe escalate.
+            g.expires_ns = g.expires_ns.max(expires_ns);
+            self.stats.glitches += 1;
+            if escalates && !g.escalated {
+                g.escalated = true;
+                self.enforced.set_down(link);
+                self.stats.escalated += 1;
+                return self.recover(spec, alloc, &[link]);
+            }
+            return RecoveryReport::default();
+        }
+        if self.enforced.is_down(link) {
+            // Permanently down already; a glitch adds nothing.
+            return RecoveryReport::default();
+        }
+        self.stats.glitches += 1;
+        self.mask.set_down(link);
+        self.glitches.push(Glitch {
+            expires_ns,
+            link,
+            escalated: escalates,
+        });
+        if escalates {
+            self.enforced.set_down(link);
+            self.stats.escalated += 1;
+            self.recover(spec, alloc, &[link])
+        } else {
+            // Mask-only: admission filtering sees the glitch, nothing
+            // else moves.
+            self.engine.set_faults(&self.mask);
+            RecoveryReport::default()
+        }
+    }
+
+    /// Advances the engine's clock to `t_ns`, servicing everything that
+    /// falls due on the way: queued deferred repairs drain first (they
+    /// were queued strictly earlier), then glitches expiring at or
+    /// before `t_ns` self-clear in deterministic `(expiry, link)` order
+    /// — sub-threshold glitches just leave the mask; escalated ones
+    /// restore capacity like a repair (immediately or queued, per the
+    /// policy). Returns the accumulated report; a clock that does not
+    /// move (`t_ns <= now`) is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`ChurnEngine::submit`].
+    pub fn advance_to(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        t_ns: u64,
+    ) -> RecoveryReport {
+        let mut total = RecoveryReport::default();
+        if t_ns <= self.now_ns {
+            return total;
+        }
+        // Time moves past the instant the queued repairs arrived at:
+        // drain them before anything that happens later.
+        if self.repairs_pending {
+            total.add(&self.drain_repairs(spec, alloc));
+        }
+        let expired = &mut self.expired;
+        expired.clear();
+        self.glitches.retain(|g| {
+            if g.expires_ns <= t_ns {
+                expired.push(*g);
+                false
+            } else {
+                true
+            }
+        });
+        expired.sort_unstable_by_key(|g| (g.expires_ns, g.link));
+        let mut expired = core::mem::take(&mut self.expired);
+        for g in &expired {
+            self.stats.glitch_expiries += 1;
+            self.mask.set_up(g.link);
+            if g.escalated {
+                self.enforced.set_up(g.link);
+                total.add(&self.finish_repair(spec, alloc));
+            } else {
+                // The sub-threshold lifecycle touches only the mask.
+                self.engine.set_faults(&self.mask);
+            }
+        }
+        expired.clear();
+        self.expired = expired;
+        self.now_ns = t_ns;
+        total
+    }
+
+    /// Drains the deferred-repair queue: re-homes the whole displaced
+    /// ledger as **one** batched admission round (hardest-first
+    /// canonical order, shared with [`ChurnEngine::submit_batch`]).
+    /// A no-op unless repairs are pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platform mismatch, as [`ChurnEngine::submit`].
+    pub fn drain_repairs(&mut self, spec: &SystemSpec, alloc: &mut Allocation) -> RecoveryReport {
+        if !self.repairs_pending {
+            return RecoveryReport::default();
+        }
+        self.repairs_pending = false;
+        self.stats.repair_drains += 1;
+        self.rehome(spec, alloc)
+    }
+
+    /// The repair tail shared by every capacity-restoring event:
+    /// re-home now (immediate policy) or queue for the next drain
+    /// (deferred policy, mask installed at once so new admissions see
+    /// the repaired link immediately).
+    fn finish_repair(&mut self, spec: &SystemSpec, alloc: &mut Allocation) -> RecoveryReport {
+        match self.policy {
+            RepairPolicy::Immediate => self.rehome(spec, alloc),
+            RepairPolicy::Deferred => {
+                self.engine.set_faults(&self.mask);
+                if self.displaced.is_empty() {
+                    return RecoveryReport::default();
+                }
+                self.repairs_pending = true;
+                self.stats.deferred_repairs += 1;
+                RecoveryReport {
+                    deferred: self.displaced.len() as u32,
+                    ..RecoveryReport::default()
+                }
+            }
+        }
     }
 
     /// Applies one scenario operation (see [`aelite_spec::fault`]):
@@ -324,10 +686,38 @@ impl FaultEngine {
                     FaultOp::LinkUp(l) => self.link_up(spec, alloc, l),
                     FaultOp::RouterDown(r) => self.router_down(spec, alloc, r),
                     FaultOp::RouterUp(r) => self.router_up(spec, alloc, r),
+                    FaultOp::LinkGlitch { link, duration_ns } => {
+                        self.link_glitch(spec, alloc, link, duration_ns)
+                    }
                 };
                 true
             }
         }
+    }
+
+    /// Applies one *timestamped* scenario event: advances the clock to
+    /// the event's arrival time (clearing expired glitches and draining
+    /// queued repairs on the way — see [`advance_to`](Self::advance_to))
+    /// and then applies the operation as [`apply`](Self::apply). This is
+    /// the replay entry point for merged [`FaultScenario`] streams whose
+    /// glitches should self-clear at their real expiry.
+    ///
+    /// [`FaultScenario`]: aelite_spec::fault::FaultScenario
+    pub fn apply_event(
+        &mut self,
+        spec: &SystemSpec,
+        alloc: &mut Allocation,
+        event: &ScenarioEvent,
+    ) -> bool {
+        self.advance_to(spec, alloc, event.at_ns);
+        self.apply(spec, alloc, &event.op)
+    }
+
+    /// Removes and returns the active glitch on `link`, if any. The
+    /// caller decides what happens to the masks.
+    fn cancel_glitch(&mut self, link: LinkId) -> Option<Glitch> {
+        let i = self.glitches.iter().position(|g| g.link == link)?;
+        Some(self.glitches.remove(i))
     }
 
     /// The failure-side sweep: installs the grown mask, collects the
@@ -367,8 +757,13 @@ impl FaultEngine {
         report
     }
 
-    /// The repair-side sweep: installs the shrunk mask and re-homes
-    /// displaced connections hardest-first. Connections that still do
+    /// The repair-side sweep: installs the shrunk mask and re-homes the
+    /// displaced ledger as **one** batched admission round —
+    /// [`ChurnEngine::submit_batch`] over per-connection opens, whose
+    /// canonical order is exactly the hardest-first cached-key sort of
+    /// batch admission. Immediate repair and a deferred drain therefore
+    /// run the *same* code path over the same ledger, which is what
+    /// makes their survivor sets identical. Connections that still do
     /// not fit stay parked for the next repair.
     fn rehome(&mut self, spec: &SystemSpec, alloc: &mut Allocation) -> RecoveryReport {
         self.engine.set_faults(&self.mask);
@@ -376,15 +771,16 @@ impl FaultEngine {
         if self.displaced.is_empty() {
             return report;
         }
-        self.order.clear();
-        self.order.extend_from_slice(&self.displaced);
-        admission_order(spec, &mut self.order);
-        for i in 0..self.order.len() {
-            let conn = self.order[i];
-            if self.engine.open(spec, alloc, conn).is_ok() {
-                report.restored += 1;
-            }
-        }
+        self.requests.clear();
+        self.requests
+            .extend(self.displaced.iter().map(|&c| AdmissionRequest::Open(c)));
+        let requests = core::mem::take(&mut self.requests);
+        let mut verdicts = core::mem::take(&mut self.verdicts);
+        self.engine
+            .submit_batch(spec, alloc, &requests, &mut verdicts);
+        report.restored = verdicts.iter().filter(|v| v.is_ok()).count() as u32;
+        self.requests = requests;
+        self.verdicts = verdicts;
         self.displaced.retain(|&c| alloc.grant(c).is_none());
         self.stats.absorb(&report);
         report
@@ -508,6 +904,218 @@ mod tests {
         assert_eq!(engine.stats().router_ups, 1);
     }
 
+    /// 3x1 path mesh with one corner-to-corner connection: NI0's
+    /// traffic has exactly one way out (the ingress link).
+    fn severed_spec() -> (aelite_spec::SystemSpec, aelite_spec::ids::LinkId, ConnId) {
+        let topo = aelite_spec::Topology::mesh(3, 1, 1);
+        let ingress = topo.ni_ingress_link(aelite_spec::ids::NiId::new(0));
+        let mut b = aelite_spec::SystemSpecBuilder::new(topo, aelite_spec::NocConfig::default());
+        let app = b.add_app("a");
+        let s = b.add_ip_at(aelite_spec::ids::NiId::new(0));
+        let d = b.add_ip_at(aelite_spec::ids::NiId::new(2));
+        let conn = b.add_connection(
+            app,
+            s,
+            d,
+            aelite_spec::Bandwidth::from_mbytes_per_sec(100),
+            1_000_000,
+        );
+        (b.build(), ingress, conn)
+    }
+
+    #[test]
+    fn sub_threshold_glitch_masks_admission_but_displaces_nothing() {
+        let spec = paper_workload(42);
+        let mut alloc = allocate(&spec).unwrap();
+        let mut engine = FaultEngine::new(&spec);
+        let before: Vec<_> = alloc.grants().cloned().collect();
+        let snapshot = |alloc: &Allocation| -> Vec<Vec<(bool, Option<ConnId>)>> {
+            (0..spec.topology().link_count())
+                .map(|i| {
+                    let t = alloc.link_table(aelite_spec::ids::LinkId::new(i as u32));
+                    (0..t.size()).map(|s| (t.is_free(s), t.owner(s))).collect()
+                })
+                .collect()
+        };
+        let tables = snapshot(&alloc);
+
+        // Glitch the most-loaded link for less than the threshold.
+        let mut load = vec![0u32; spec.topology().link_count()];
+        for g in alloc.grants() {
+            for &l in &g.links {
+                load[l.index()] += 1;
+            }
+        }
+        let victim = load.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        let victim = aelite_spec::ids::LinkId::new(victim as u32);
+        let short = engine.persistence_threshold_ns() - 1;
+        let report = engine.link_glitch(&spec, &mut alloc, victim, short);
+
+        // Zero displacement, zero recovery activity, everything still
+        // granted over the glitched link — only the mask moved.
+        assert_eq!(report, RecoveryReport::default());
+        assert!(engine.mask().is_down(victim));
+        assert!(!engine.enforced().is_down(victim));
+        assert!(engine.displaced().is_empty());
+        assert_eq!(engine.stats().glitches, 1);
+        assert_eq!(engine.stats().escalated, 0);
+        assert_eq!(engine.stats().affected, 0);
+        for g in &before {
+            assert_eq!(alloc.grant(g.conn).unwrap(), g, "{} moved", g.conn);
+        }
+        assert_eq!(
+            snapshot(&alloc),
+            tables,
+            "a table changed under a sub-threshold glitch"
+        );
+
+        // Admission over the glitched link refuses while it is masked.
+        let (taken, conn) = {
+            let g = alloc
+                .grants()
+                .find(|g| g.links.contains(&victim))
+                .expect("victim carries traffic");
+            (g.clone(), g.conn)
+        };
+        let _ = taken;
+        // Close it through churn, then try to re-open: every candidate
+        // may not cross victim, so the grant (if any) avoids it.
+        engine.apply(&spec, &mut alloc, &ScenarioOp::Churn(ChurnOp::Close(conn)));
+        engine.apply(&spec, &mut alloc, &ScenarioOp::Churn(ChurnOp::Open(conn)));
+        if let Some(g) = alloc.grant(conn) {
+            assert!(!g.links.contains(&victim), "granted over glitched link");
+        }
+
+        // The glitch self-clears at expiry: mask empty again, and the
+        // clearance touched nothing (no rehome machinery for
+        // sub-threshold glitches).
+        engine.advance_to(&spec, &mut alloc, engine.now_ns() + short + 1);
+        assert!(engine.mask().is_empty());
+        assert_eq!(engine.stats().glitch_expiries, 1);
+    }
+
+    #[test]
+    fn threshold_crossing_glitch_escalates_like_link_down_then_self_repairs() {
+        let (spec, ingress, conn) = severed_spec();
+        let mut alloc = allocate(&spec).unwrap();
+        let mut engine = FaultEngine::new(&spec);
+        let long = engine.persistence_threshold_ns() * 3;
+
+        let report = engine.link_glitch(&spec, &mut alloc, ingress, long);
+        // Exactly the permanent-fault ladder: affected, dropped, parked.
+        assert_eq!(report.affected, 1);
+        assert_eq!(report.dropped, 1);
+        assert!(engine.enforced().is_down(ingress));
+        assert_eq!(engine.displaced(), &[conn]);
+        assert_eq!(engine.stats().escalated, 1);
+
+        // The glitch expires: capacity returns, the connection re-homes
+        // without any repair event in the stream.
+        engine.advance_to(&spec, &mut alloc, long + 1);
+        assert!(engine.mask().is_empty());
+        assert!(alloc.grant(conn).is_some(), "re-homed at expiry");
+        assert!(engine.displaced().is_empty());
+        assert_eq!(engine.stats().restored, 1);
+        assert_eq!(engine.stats().glitch_expiries, 1);
+    }
+
+    #[test]
+    fn permanent_fault_on_glitched_link_escalates_it() {
+        let (spec, ingress, conn) = severed_spec();
+        let mut alloc = allocate(&spec).unwrap();
+        let mut engine = FaultEngine::new(&spec);
+        let short = engine.persistence_threshold_ns() / 2;
+
+        // Sub-threshold glitch first: nothing displaced.
+        engine.link_glitch(&spec, &mut alloc, ingress, short);
+        assert!(alloc.grant(conn).is_some());
+
+        // A permanent failure lands on the glitched link: the grant is
+        // displaced *now*, and the glitch will not self-clear.
+        let report = engine.link_down(&spec, &mut alloc, ingress);
+        assert_eq!(report.affected, 1);
+        assert_eq!(report.dropped, 1);
+        assert_eq!(engine.displaced(), &[conn]);
+        engine.advance_to(&spec, &mut alloc, short + 1);
+        assert!(
+            engine.mask().is_down(ingress),
+            "permanent fault must not expire with the glitch"
+        );
+        assert_eq!(engine.stats().glitch_expiries, 0);
+    }
+
+    #[test]
+    fn deferred_repair_queues_and_drains_as_one_round() {
+        let (spec, ingress, conn) = severed_spec();
+        let mut alloc = allocate(&spec).unwrap();
+        let mut engine = FaultEngine::new(&spec);
+        engine.set_repair_policy(RepairPolicy::Deferred);
+        assert_eq!(engine.policy(), RepairPolicy::Deferred);
+
+        engine.link_down(&spec, &mut alloc, ingress);
+        assert_eq!(engine.displaced(), &[conn]);
+
+        // The repair shrinks the mask but queues the re-home.
+        let report = engine.link_up(&spec, &mut alloc, ingress);
+        assert_eq!(report.restored, 0);
+        assert_eq!(report.deferred, 1);
+        assert!(engine.repairs_pending());
+        assert!(engine.mask().is_empty(), "mask shrinks immediately");
+        assert!(alloc.grant(conn).is_none(), "re-home deferred");
+
+        // The drain services the whole ledger in one batched round.
+        let report = engine.drain_repairs(&spec, &mut alloc);
+        assert_eq!(report.restored, 1);
+        assert!(!engine.repairs_pending());
+        assert!(alloc.grant(conn).is_some());
+        assert_eq!(engine.stats().deferred_repairs, 1);
+        assert_eq!(engine.stats().repair_drains, 1);
+        // A second drain with nothing pending is a no-op.
+        assert_eq!(
+            engine.drain_repairs(&spec, &mut alloc),
+            RecoveryReport::default()
+        );
+        assert_eq!(engine.stats().repair_drains, 1);
+    }
+
+    #[test]
+    fn deferred_and_immediate_repair_produce_identical_survivor_sets() {
+        // Knock a router out of the paper platform (many links at once),
+        // then repair it. The immediate engine re-homes on the repair
+        // event; the deferred engine queues and drains once. Same
+        // batched code path, same hardest-first order => identical
+        // survivor sets and identical grants.
+        let spec = paper_workload(42);
+        let router = aelite_spec::ids::RouterId::new(5);
+
+        let run = |policy: RepairPolicy| {
+            let mut alloc = allocate(&spec).unwrap();
+            let mut engine = FaultEngine::new(&spec);
+            engine.set_repair_policy(policy);
+            engine.router_down(&spec, &mut alloc, router);
+            engine.router_up(&spec, &mut alloc, router);
+            if policy == RepairPolicy::Deferred {
+                engine.drain_repairs(&spec, &mut alloc);
+            }
+            let mut displaced = engine.displaced().to_vec();
+            displaced.sort_unstable();
+            (alloc, displaced, engine.stats().restored)
+        };
+
+        let (a_imm, d_imm, r_imm) = run(RepairPolicy::Immediate);
+        let (a_def, d_def, r_def) = run(RepairPolicy::Deferred);
+        assert_eq!(d_imm, d_def, "different survivor sets");
+        assert_eq!(r_imm, r_def);
+        for c in spec.connections() {
+            assert_eq!(
+                a_imm.grant(c.id),
+                a_def.grant(c.id),
+                "{} granted differently",
+                c.id
+            );
+        }
+    }
+
     #[test]
     fn scenario_replay_holds_the_no_down_link_invariant() {
         let spec = paper_workload(42);
@@ -532,8 +1140,10 @@ mod tests {
         let mut alloc = Allocation::empty_for(&spec);
         let mut engine = FaultEngine::new(&spec);
         for e in &scenario.events {
-            engine.apply(&spec, &mut alloc, &e.op);
-            assert_no_grant_over_down_link(&alloc, engine.mask());
+            engine.apply_event(&spec, &mut alloc, e);
+            // Grants may ride out sub-threshold glitches (mask), never a
+            // displacing fault (enforced).
+            assert_no_grant_over_down_link(&alloc, engine.enforced());
             // The ledger never holds a connection that has a grant.
             for &c in engine.displaced() {
                 assert!(alloc.grant(c).is_none());

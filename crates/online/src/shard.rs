@@ -38,7 +38,7 @@
 
 use crate::api::{AdmissionError, AdmissionRequest, AdmissionResponse, RefusalCause};
 use crate::engine::{canonical_order_of, ChurnEngine, ChurnStats};
-use aelite_alloc::{Allocation, Allocator, RouteCache, RouteProvider};
+use aelite_alloc::{Allocation, Allocator, RouteCache, RouteProvider, Steering};
 use aelite_spec::ids::{ConnId, LinkId};
 use aelite_spec::topology::Endpoint;
 use aelite_spec::SystemSpec;
@@ -81,6 +81,12 @@ pub struct ShardConfig {
     /// traffic classifies intra-shard; the default 12 admits detours
     /// that may escape the region and classify cross.
     pub max_paths: usize,
+    /// Candidate-ordering mode of the per-shard allocators (and the
+    /// hub's). Classification depends only on the candidate *set*, never
+    /// its order, so steering changes which route a grant lands on —
+    /// identically in every lane and in the serial reference engine —
+    /// without touching the isolation proof.
+    pub steering: Steering,
 }
 
 impl ShardConfig {
@@ -94,6 +100,7 @@ impl ShardConfig {
             tiles_y: 1,
             boundary: BoundaryPolicy::LowerShard,
             max_paths: Allocator::new().max_paths,
+            steering: Steering::ShortestFirst,
         }
     }
 
@@ -544,6 +551,7 @@ impl ShardedEngine {
         let map = ShardMap::build(spec, &config);
         let allocator = Allocator {
             max_paths: config.max_paths,
+            steering: config.steering,
             ..Allocator::new()
         };
         let shards = map.shards();
@@ -1029,6 +1037,41 @@ mod tests {
         assert_eq!(va, vb);
         let back = parts.collapse(sharded.map());
         for c in &ids {
+            assert_eq!(back.grant(*c), flat.grant(*c), "{c} diverged");
+        }
+        assert_eq!(sharded.stats(), *plain.stats());
+    }
+
+    #[test]
+    fn steered_sharded_burst_matches_steered_plain_engine() {
+        let spec = scaled_workload(4, 4, 2, 60, 7);
+        let cfg = ShardConfig {
+            steering: Steering::SpareCapacity,
+            ..ShardConfig::single()
+        };
+        let mut sharded = ShardedEngine::new(&spec, cfg);
+        let mut plain = ChurnEngine::with_allocator(
+            &spec,
+            Allocator {
+                steering: Steering::SpareCapacity,
+                ..Allocator::new()
+            },
+        );
+        let mut flat = Allocation::empty_for(&spec);
+        let mut parts = ShardedAllocation::empty_for(&spec, sharded.map());
+
+        let ids: Vec<ConnId> = spec.connections().iter().map(|c| c.id).collect();
+        let requests: Vec<AdmissionRequest> = ids
+            .iter()
+            .take(24)
+            .map(|&c| AdmissionRequest::Open(c))
+            .collect();
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        sharded.submit_batch(&spec, &mut parts, &requests, &mut va, 4);
+        plain.submit_batch(&spec, &mut flat, &requests, &mut vb);
+        assert_eq!(va, vb);
+        let back = parts.collapse(sharded.map());
+        for c in ids.iter().take(24) {
             assert_eq!(back.grant(*c), flat.grant(*c), "{c} diverged");
         }
         assert_eq!(sharded.stats(), *plain.stats());

@@ -37,16 +37,7 @@ pub struct ReplayReport {
 }
 
 fn stats_delta(after: &ChurnStats, before: &ChurnStats) -> ChurnStats {
-    ChurnStats {
-        setups: after.setups - before.setups,
-        teardowns: after.teardowns - before.teardowns,
-        switches: after.switches - before.switches,
-        refused_opens: after.refused_opens - before.refused_opens,
-        refused_closes: after.refused_closes - before.refused_closes,
-        refused_switches: after.refused_switches - before.refused_switches,
-        rolled_back_opens: after.rolled_back_opens - before.rolled_back_opens,
-        refused_link_down: after.refused_link_down - before.refused_link_down,
-    }
+    after.delta(before)
 }
 
 /// Applies `stream[..warmup]` serially (untimed) to bring `engine` and

@@ -15,6 +15,13 @@
 //! * **router events** ([`FaultOp::RouterDown`] / [`FaultOp::RouterUp`])
 //!   fail a whole router: every link adjacent to it (router-router *and*
 //!   NI links) goes down with it, and repair raises them together;
+//! * **transient glitches** ([`FaultOp::LinkGlitch`]) are self-clearing:
+//!   a currently-up link misbehaves for `duration_ns` and then recovers
+//!   on its own, with no paired repair event in the trace. Whether a
+//!   glitch displaces traffic is the *engine's* call (its persistence
+//!   threshold), so glitches never enter the trace's down-set — a
+//!   permanent [`FaultOp::LinkDown`] may land on a glitched link, which
+//!   the engine treats as escalation;
 //! * a [`FaultScenario`] merges a fault trace with a churn trace
 //!   ([`crate::churn::churn_trace`]) into one time-ordered stream, so an
 //!   engine services failures *as churn deltas* — the ROADMAP's
@@ -46,6 +53,15 @@ pub enum FaultOp {
     /// A failed router is repaired: every adjacent link currently down
     /// comes back up with it.
     RouterUp(RouterId),
+    /// One directed link (currently up) suffers a transient,
+    /// self-clearing fault: it is unusable for `duration_ns` from the
+    /// event's arrival, then recovers without a repair event.
+    LinkGlitch {
+        /// The glitched link.
+        link: LinkId,
+        /// How long the glitch lasts, in nanoseconds.
+        duration_ns: u64,
+    },
 }
 
 /// A timestamped fault event.
@@ -71,13 +87,23 @@ pub struct FaultParams {
     /// Probability that an event targets a whole router instead of a
     /// single link, in `[0, 1)`.
     pub router_weight: f64,
+    /// Probability that an event is a transient [`FaultOp::LinkGlitch`]
+    /// instead of a permanent fault/repair, in `[0, 1)`. Glitches are
+    /// drawn on currently-up links and do not enter the down-set.
+    pub glitch_weight: f64,
+    /// Shortest glitch duration drawn, in nanoseconds (inclusive).
+    pub glitch_min_ns: u64,
+    /// Longest glitch duration drawn, in nanoseconds (inclusive).
+    pub glitch_max_ns: u64,
 }
 
 impl FaultParams {
     /// A sparse degradation profile: hold ~4% of the links down, one
     /// router event per ~7 link events, arrivals at 20k events/s —
     /// faults orders of magnitude rarer than the 1M req/s churn regime
-    /// they interleave with.
+    /// they interleave with. One event in five is a transient glitch
+    /// lasting 2–40 µs, straddling typical persistence thresholds so a
+    /// replay exercises both the masked-only and the escalated paths.
     #[must_use]
     pub fn sparse(events: u32) -> Self {
         FaultParams {
@@ -85,6 +111,19 @@ impl FaultParams {
             rate_per_sec: 2.0e4,
             target_down: 0.04,
             router_weight: 0.15,
+            glitch_weight: 0.2,
+            glitch_min_ns: 2_000,
+            glitch_max_ns: 40_000,
+        }
+    }
+
+    /// `self` with transient glitches disabled: every event is a
+    /// permanent fault or repair, exactly the pre-glitch model.
+    #[must_use]
+    pub fn permanent_only(self) -> Self {
+        FaultParams {
+            glitch_weight: 0.0,
+            ..self
         }
     }
 }
@@ -128,7 +167,20 @@ impl FaultTrace {
     /// Number of repair events (link or router up).
     #[must_use]
     pub fn repairs(&self) -> u64 {
-        self.len() as u64 - self.failures()
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, FaultOp::LinkUp(_) | FaultOp::RouterUp(_)))
+            .count() as u64
+    }
+
+    /// Number of transient glitch events (self-clearing, no paired
+    /// repair in the trace).
+    #[must_use]
+    pub fn glitches(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, FaultOp::LinkGlitch { .. }))
+            .count() as u64
     }
 }
 
@@ -289,6 +341,14 @@ pub fn fault_trace(topo: &Topology, params: &FaultParams, seed: u64) -> FaultTra
         (0.0..1.0).contains(&params.router_weight),
         "router_weight must be in [0, 1)"
     );
+    assert!(
+        (0.0..1.0).contains(&params.glitch_weight),
+        "glitch_weight must be in [0, 1)"
+    );
+    assert!(
+        params.glitch_min_ns <= params.glitch_max_ns,
+        "glitch duration range inverted"
+    );
     assert!(params.rate_per_sec > 0.0, "rate must be positive");
     assert!(topo.link_count() > 0, "topology has no links to fail");
 
@@ -308,14 +368,43 @@ pub fn fault_trace(topo: &Topology, params: &FaultParams, seed: u64) -> FaultTra
         let p_down = (0.5 + (params.target_down - down_frac)).clamp(0.05, 0.95);
         let prefer_down = rng.gen::<f64>() < p_down;
         let router_event = rng.gen::<f64>() < params.router_weight;
+        let glitch_event = rng.gen::<f64>() < params.glitch_weight;
 
-        let op = draw_fault(topo, &mut state, &mut rng, prefer_down, router_event);
+        // A glitch targets a currently-up link and leaves the down-set
+        // untouched (self-clearing); when every link is down, fall
+        // through to the permanent draw (which repairs).
+        let op = if glitch_event {
+            draw_glitch(topo, &state, &mut rng, params)
+        } else {
+            None
+        }
+        .unwrap_or_else(|| draw_fault(topo, &mut state, &mut rng, prefer_down, router_event));
         events.push(FaultEvent {
             at_ns: t_ns as u64,
             op,
         });
     }
     FaultTrace { events }
+}
+
+/// A transient glitch on a currently-up link, with a duration drawn
+/// uniformly from the params' range; `None` when no link is up.
+fn draw_glitch(
+    topo: &Topology,
+    state: &DownSet,
+    rng: &mut StdRng,
+    params: &FaultParams,
+) -> Option<FaultOp> {
+    let cands: Vec<LinkId> = topo
+        .links()
+        .filter(|&l| !state.link_down[l.index()])
+        .collect();
+    if cands.is_empty() {
+        return None;
+    }
+    let link = cands[rng.gen_range(0..cands.len())];
+    let duration_ns = rng.gen_range(params.glitch_min_ns..=params.glitch_max_ns);
+    Some(FaultOp::LinkGlitch { link, duration_ns })
 }
 
 /// One stateful-consistent fault op, falling back across kind and
@@ -461,9 +550,30 @@ mod tests {
                         }
                     }
                 }
+                FaultOp::LinkGlitch { link, duration_ns } => {
+                    // Glitches hit only up links and never enter the
+                    // down-set (self-clearing).
+                    assert!(!state.link_down[link.index()], "{link} glitched while down");
+                    assert!(
+                        (2_000..=40_000).contains(&duration_ns),
+                        "duration off-range"
+                    );
+                }
             }
         }
-        assert!(trace.failures() > 0 && trace.repairs() > 0);
+        assert!(trace.failures() > 0 && trace.repairs() > 0 && trace.glitches() > 0);
+        assert_eq!(
+            trace.failures() + trace.repairs() + trace.glitches(),
+            trace.len() as u64
+        );
+    }
+
+    #[test]
+    fn permanent_only_draws_no_glitches() {
+        let topo = Topology::mesh(4, 4, 2);
+        let params = FaultParams::sparse(600).permanent_only();
+        let trace = fault_trace(&topo, &params, 11);
+        assert_eq!(trace.glitches(), 0);
         assert_eq!(trace.failures() + trace.repairs(), trace.len() as u64);
     }
 
@@ -489,6 +599,7 @@ mod tests {
                         }
                     }
                 }
+                FaultOp::LinkGlitch { .. } => {}
             }
         }
         let frac = state.down_links as f64 / topo.link_count() as f64;

@@ -1,13 +1,16 @@
 //! Fault-recovery trajectory: replays merged churn + fault scenarios
 //! through the [`FaultEngine`] over four traffic profiles — uniform and
-//! the three adversarial patterns ([`TrafficProfile`]) — and writes
-//! `BENCH_FAULT.json`, the robustness record future PRs track.
+//! the three adversarial patterns ([`TrafficProfile`]) — under **both
+//! candidate-ordering modes** ([`Steering::ShortestFirst`] and
+//! [`Steering::SpareCapacity`]) and writes `BENCH_FAULT.json`, the
+//! robustness record future PRs track.
 //!
 //! Every outcome field (admissions, affected grants, recovery ladder
-//! split, drops, restorations) is deterministic — same seeds, same
-//! platform, same numbers on every machine — so the file doubles as a
-//! regression pin. Only the wall-clock columns (`replay_ms`,
-//! `events_per_sec`) vary by machine and are never gated.
+//! split, drops, restorations, glitch escalations, steering deltas) is
+//! deterministic — same seeds, same platform, same numbers on every
+//! machine — so the file doubles as a regression pin. Only the
+//! wall-clock columns (`replay_ms`, `events_per_sec`) vary by machine
+//! and are never gated.
 //!
 //! Run with `cargo run --release --example bench_fault`. Modes:
 //!
@@ -16,8 +19,8 @@
 //! * `--check` — no replay: re-validate the gates against the
 //!   committed `BENCH_FAULT.json`.
 
-use aelite_alloc::Allocation;
-use aelite_online::FaultEngine;
+use aelite_alloc::{Allocation, Allocator, Steering};
+use aelite_online::{ChurnEngine, FaultEngine};
 use aelite_spec::app::SystemSpec;
 use aelite_spec::fault::{fault_trace, FaultParams, FaultScenario};
 use aelite_spec::generate::{TrafficProfile, WorkloadBuilder};
@@ -30,9 +33,16 @@ const SEED: u64 = 11;
 const CHURN_EVENTS: u32 = 240;
 const FAULT_EVENTS: u32 = 40;
 
+/// JSON names of the two steering modes, in row order.
+const STEERINGS: [(&str, Steering); 2] = [
+    ("shortest_first", Steering::ShortestFirst),
+    ("spare_capacity", Steering::SpareCapacity),
+];
+
 struct Row {
     name: &'static str,
     profile: &'static str,
+    steering: &'static str,
     connections: usize,
     admitted: u32,
     events: usize,
@@ -40,6 +50,9 @@ struct Row {
     link_ups: u64,
     router_downs: u64,
     router_ups: u64,
+    glitches: u64,
+    escalated: u64,
+    glitch_expiries: u64,
     affected: u64,
     survived: u64,
     dropped: u64,
@@ -60,10 +73,22 @@ fn bench_spec(profile: TrafficProfile) -> SystemSpec {
         .build()
 }
 
-fn replay(name: &'static str, profile_name: &'static str, profile: TrafficProfile) -> Row {
+fn replay(
+    name: &'static str,
+    profile_name: &'static str,
+    profile: TrafficProfile,
+    steering_name: &'static str,
+    steering: Steering,
+) -> Row {
     let spec = bench_spec(profile);
     let mut alloc = Allocation::empty_for(&spec);
-    let mut engine = FaultEngine::new(&spec);
+    let mut engine = FaultEngine::with_engine(ChurnEngine::with_allocator(
+        &spec,
+        Allocator {
+            steering,
+            ..Allocator::new()
+        },
+    ));
 
     // Populate through the engine itself (refusals are fine — the
     // admitted set is what the scenario then stresses).
@@ -95,16 +120,28 @@ fn replay(name: &'static str, profile_name: &'static str, profile: TrafficProfil
 
     let t0 = Instant::now();
     for e in &scenario.events {
-        engine.apply(&spec, &mut alloc, &e.op);
+        engine.apply_event(&spec, &mut alloc, e);
     }
+    // Run the clock past every pending glitch so the end state is
+    // glitch-free: only enforced (persistent) faults remain masked.
+    let end_ns = scenario.events.last().map_or(0, |e| e.at_ns);
+    engine.advance_to(&spec, &mut alloc, end_ns.saturating_add(1_000_000));
     let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // Post-replay sanity: the core invariant held (cheap full scan).
+    // Grants may ride out sub-threshold glitches, so the invariant is
+    // over the *enforced* mask; after the final advance the admission
+    // mask has converged to it.
     for g in alloc.grants() {
         for &l in &g.links {
-            assert!(!engine.mask().is_down(l), "{} over a down link", g.conn);
+            assert!(!engine.enforced().is_down(l), "{} over a down link", g.conn);
         }
     }
+    assert_eq!(
+        engine.mask().down_count(),
+        engine.enforced().down_count(),
+        "glitches remain masked after the final advance"
+    );
     let open: Vec<ConnId> = alloc.grants().map(|g| g.conn).collect();
     aelite_alloc::validate_allocation(&spec.restricted_to_connections(&open), &alloc)
         .expect("valid end state");
@@ -113,6 +150,7 @@ fn replay(name: &'static str, profile_name: &'static str, profile: TrafficProfil
     let row = Row {
         name,
         profile: profile_name,
+        steering: steering_name,
         connections: spec.connections().len(),
         admitted,
         events: scenario.len(),
@@ -120,6 +158,9 @@ fn replay(name: &'static str, profile_name: &'static str, profile: TrafficProfil
         link_ups: s.link_ups,
         router_downs: s.router_downs,
         router_ups: s.router_ups,
+        glitches: s.glitches,
+        escalated: s.escalated,
+        glitch_expiries: s.glitch_expiries,
         affected: s.affected,
         survived: s.survived(),
         dropped: s.dropped,
@@ -128,9 +169,9 @@ fn replay(name: &'static str, profile_name: &'static str, profile: TrafficProfil
         replay_ms,
     };
     println!(
-        "{name:>15}: {admitted:3} admitted | {:3} events in {replay_ms:7.2} ms | \
-         affected {:3}: {:3} survived, {:2} dropped, {:2} restored",
-        row.events, row.affected, row.survived, row.dropped, row.restored,
+        "{name:>15}/{steering_name:<14}: {admitted:3} admitted | {:3} events in {replay_ms:7.2} ms | \
+         affected {:3}: {:3} survived, {:2} dropped | {:2} glitches ({:2} escalated)",
+        row.events, row.affected, row.survived, row.dropped, row.glitches, row.escalated,
     );
     row
 }
@@ -175,11 +216,45 @@ struct Outcome {
     dropped: u64,
     link_downs: u64,
     router_downs: u64,
+    glitches: u64,
+    escalated: u64,
+}
+
+impl Outcome {
+    fn of(r: &Row) -> Self {
+        Outcome {
+            connections: r.connections as u64,
+            admitted: u64::from(r.admitted),
+            affected: r.affected,
+            survived: r.survived,
+            dropped: r.dropped,
+            link_downs: r.link_downs,
+            router_downs: r.router_downs,
+            glitches: r.glitches,
+            escalated: r.escalated,
+        }
+    }
+
+    fn of_json(row: &std::collections::HashMap<String, String>) -> Self {
+        Outcome {
+            connections: field_u64(row, "connections"),
+            admitted: field_u64(row, "admitted"),
+            affected: field_u64(row, "affected"),
+            survived: field_u64(row, "survived"),
+            dropped: field_u64(row, "dropped"),
+            link_downs: field_u64(row, "link_downs"),
+            router_downs: field_u64(row, "router_downs"),
+            glitches: field_u64(row, "glitches"),
+            escalated: field_u64(row, "escalated"),
+        }
+    }
 }
 
 /// The recovery gates, applied to one row (fresh or committed):
 /// accounting closes, failures hit real traffic, most of the workload
-/// admits, and most affected grants keep service.
+/// admits, most affected grants keep service, and the scenario drew
+/// transient glitches (of which only the escalated subset displaced
+/// anyone — sub-threshold glitches never count towards `affected`).
 fn assert_gates(name: &str, o: &Outcome) {
     let Outcome {
         connections,
@@ -189,6 +264,8 @@ fn assert_gates(name: &str, o: &Outcome) {
         dropped,
         link_downs,
         router_downs,
+        glitches,
+        escalated,
     } = *o;
     assert_eq!(
         survived + dropped,
@@ -208,35 +285,78 @@ fn assert_gates(name: &str, o: &Outcome) {
         survived * 2 >= affected,
         "{name}: under half the affected grants kept service ({survived}/{affected})"
     );
+    assert!(glitches > 0, "{name}: scenario drew no transient glitches");
+    assert!(
+        escalated <= glitches,
+        "{name}: more escalations than glitches"
+    );
+}
+
+/// The steering gate over one profile's (baseline, steered) row pair:
+/// spare-capacity steering must not increase the affected-grant count,
+/// and across the whole sweep it must strictly reduce it somewhere
+/// (checked by the caller via the returned delta).
+fn steering_delta(name: &str, baseline: &Outcome, steered: &Outcome) -> (i64, i64) {
+    assert_eq!(
+        baseline.connections, steered.connections,
+        "{name}: steering rows disagree on the workload"
+    );
+    let affected_delta = steered.affected as i64 - baseline.affected as i64;
+    let dropped_delta = steered.dropped as i64 - baseline.dropped as i64;
+    (affected_delta, dropped_delta)
+}
+
+fn assert_steering_sweep(deltas: &[(&str, i64, i64)]) {
+    assert!(
+        deltas.iter().any(|&(_, affected, _)| affected < 0),
+        "spare-capacity steering reduced the affected-grant count on no profile: {deltas:?}"
+    );
 }
 
 /// `--check`: re-assert every gate against the committed JSON.
 fn check_committed() {
     let text = std::fs::read_to_string("BENCH_FAULT.json").expect("read BENCH_FAULT.json");
-    let rows = scan_rows(&text);
-    let profiles = ["uniform", "hotspot4", "transpose", "bit_complement"];
-    for name in profiles {
-        let row = rows
-            .iter()
-            .find(|r| r.get("name").map(String::as_str) == Some(name))
-            .unwrap_or_else(|| panic!("committed JSON lacks the {name} row"));
-        assert_gates(
-            name,
-            &Outcome {
-                connections: field_u64(row, "connections"),
-                admitted: field_u64(row, "admitted"),
-                affected: field_u64(row, "affected"),
-                survived: field_u64(row, "survived"),
-                dropped: field_u64(row, "dropped"),
-                link_downs: field_u64(row, "link_downs"),
-                router_downs: field_u64(row, "router_downs"),
-            },
-        );
-    }
-    println!(
-        "BENCH_FAULT.json gates hold for all {} profiles",
-        profiles.len()
+    assert!(
+        text.contains("\"schema\": \"aelite-bench-fault/2\""),
+        "committed BENCH_FAULT.json is not schema aelite-bench-fault/2"
     );
+    let rows = scan_rows(&text);
+    let find = |name: &str, steering: &str| {
+        rows.iter()
+            .find(|r| {
+                r.get("name").map(String::as_str) == Some(name)
+                    && r.get("steering").map(String::as_str) == Some(steering)
+            })
+            .unwrap_or_else(|| panic!("committed JSON lacks the {name}/{steering} row"))
+    };
+    let profiles = ["uniform", "hotspot4", "transpose", "bit_complement"];
+    let mut deltas = Vec::new();
+    for name in profiles {
+        let baseline = Outcome::of_json(find(name, STEERINGS[0].0));
+        let steered = Outcome::of_json(find(name, STEERINGS[1].0));
+        assert_gates(name, &baseline);
+        assert_gates(name, &steered);
+        let (affected_delta, dropped_delta) = steering_delta(name, &baseline, &steered);
+        assert_eq!(
+            affected_delta,
+            field_u64_signed(find(name, STEERINGS[1].0), "affected_delta"),
+            "{name}: committed affected_delta disagrees with the row pair"
+        );
+        deltas.push((name, affected_delta, dropped_delta));
+    }
+    assert_steering_sweep(&deltas);
+    println!(
+        "BENCH_FAULT.json gates hold for all {} profiles x {} steering modes",
+        profiles.len(),
+        STEERINGS.len()
+    );
+}
+
+fn field_u64_signed(row: &std::collections::HashMap<String, String>, key: &str) -> i64 {
+    row.get(key)
+        .unwrap_or_else(|| panic!("committed JSON row missing {key}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("committed JSON field {key} unparsable: {e}"))
 }
 
 fn main() {
@@ -248,38 +368,46 @@ fn main() {
     }
 
     println!("fault recovery under churn (8x8 mesh, 200 connections, merged scenario)");
-    let rows = [
-        replay("uniform", "uniform random", TrafficProfile::Uniform),
-        replay(
+    let profiles: [(&'static str, &'static str, TrafficProfile); 4] = [
+        ("uniform", "uniform random", TrafficProfile::Uniform),
+        (
             "hotspot4",
             "hotspot (4 spots, 50% of traffic)",
             TrafficProfile::Hotspot { spots: 4 },
         ),
-        replay(
+        (
             "transpose",
             "transpose (x,y)->(y,x)",
             TrafficProfile::Transpose,
         ),
-        replay(
+        (
             "bit_complement",
             "bit-complement (mirror across centre)",
             TrafficProfile::BitComplement,
         ),
     ];
+    let mut rows = Vec::new();
+    for (name, profile_name, profile) in profiles {
+        for (steering_name, steering) in STEERINGS {
+            rows.push(replay(name, profile_name, profile, steering_name, steering));
+        }
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"aelite-bench-fault/1\",\n");
+    json.push_str("  \"schema\": \"aelite-bench-fault/2\",\n");
     json.push_str("  \"generated_by\": \"examples/bench_fault.rs\",\n");
     json.push_str(
         "  \"note\": \"outcome fields are seeded-deterministic and gated by --check; \
-         replay_ms and events_per_sec are wall-clock and never gated\",\n",
+         replay_ms and events_per_sec are wall-clock and never gated; each profile has \
+         one row per steering mode and the spare_capacity row carries the deltas\",\n",
     );
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         writeln!(json, "    {{").unwrap();
         writeln!(json, "      \"name\": \"{}\",", r.name).unwrap();
         writeln!(json, "      \"profile\": \"{}\",", r.profile).unwrap();
+        writeln!(json, "      \"steering\": \"{}\",", r.steering).unwrap();
         writeln!(json, "      \"platform\": \"8x8 mesh, 2 NIs/router\",").unwrap();
         writeln!(json, "      \"connections\": {},", r.connections).unwrap();
         writeln!(json, "      \"admitted\": {},", r.admitted).unwrap();
@@ -288,6 +416,9 @@ fn main() {
         writeln!(json, "      \"link_ups\": {},", r.link_ups).unwrap();
         writeln!(json, "      \"router_downs\": {},", r.router_downs).unwrap();
         writeln!(json, "      \"router_ups\": {},", r.router_ups).unwrap();
+        writeln!(json, "      \"glitches\": {},", r.glitches).unwrap();
+        writeln!(json, "      \"escalated\": {},", r.escalated).unwrap();
+        writeln!(json, "      \"glitch_expiries\": {},", r.glitch_expiries).unwrap();
         writeln!(json, "      \"affected\": {},", r.affected).unwrap();
         writeln!(json, "      \"survived\": {},", r.survived).unwrap();
         writeln!(json, "      \"dropped\": {},", r.dropped).unwrap();
@@ -298,6 +429,21 @@ fn main() {
             r.refused_link_down
         )
         .unwrap();
+        if r.steering == STEERINGS[1].0 {
+            let base = &rows[i - 1];
+            writeln!(
+                json,
+                "      \"affected_delta\": {},",
+                r.affected as i64 - base.affected as i64
+            )
+            .unwrap();
+            writeln!(
+                json,
+                "      \"dropped_delta\": {},",
+                r.dropped as i64 - base.dropped as i64
+            )
+            .unwrap();
+        }
         writeln!(json, "      \"replay_ms\": {:.3},", r.replay_ms).unwrap();
         writeln!(
             json,
@@ -318,18 +464,17 @@ fn main() {
     std::fs::write("BENCH_FAULT.json", &json).expect("write BENCH_FAULT.json");
     println!("\nwrote BENCH_FAULT.json");
 
-    for r in &rows {
-        assert_gates(
-            r.name,
-            &Outcome {
-                connections: r.connections as u64,
-                admitted: u64::from(r.admitted),
-                affected: r.affected,
-                survived: r.survived,
-                dropped: r.dropped,
-                link_downs: r.link_downs,
-                router_downs: r.router_downs,
-            },
-        );
+    let mut deltas = Vec::new();
+    for pair in rows.chunks_exact(2) {
+        let (baseline, steered) = (&pair[0], &pair[1]);
+        assert_gates(baseline.name, &Outcome::of(baseline));
+        assert_gates(steered.name, &Outcome::of(steered));
+        let (affected_delta, dropped_delta) =
+            steering_delta(baseline.name, &Outcome::of(baseline), &Outcome::of(steered));
+        deltas.push((baseline.name, affected_delta, dropped_delta));
+    }
+    assert_steering_sweep(&deltas);
+    for (name, affected_delta, dropped_delta) in &deltas {
+        println!("{name:>15}: steering affected delta {affected_delta:+3}, dropped delta {dropped_delta:+3}");
     }
 }

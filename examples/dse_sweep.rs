@@ -14,9 +14,13 @@
 //!
 //! The report is deterministic: the same grid produces byte-identical
 //! JSON for any `--threads` value (workload seeds derive from point
-//! coordinates, never from the schedule). `--check` verifies an already
-//! written report — CI uses it to gate the committed `DSE_REPORT.json`
-//! before regenerating its own reduced sweep.
+//! coordinates, never from the schedule). Schema `aelite-dse-report/2`
+//! folds the fault scenario in: every Pareto-front point is replayed
+//! through the `FaultEngine` under a seeded merged churn + fault trace
+//! and its deterministic admission/displacement counts are committed as
+//! `fault_scenarios` (wall-clock rates stay out). `--check` verifies an
+//! already written report — CI uses it to gate the committed
+//! `DSE_REPORT.json` before regenerating its own reduced sweep.
 //!
 //! `--validate` replays every Pareto-front point through the turbo
 //! cycle-accurate kernel (`aelite_noc::turbo`) and asserts the measured
@@ -32,6 +36,7 @@
 
 use aelite_dse::churn::{churn_front, churn_table_header, CHURN_EVENTS_PER_POINT};
 use aelite_dse::engine::run_sweep;
+use aelite_dse::fault::fault_table_header;
 use aelite_dse::grid::DseGrid;
 use aelite_dse::report::check_report_text;
 use aelite_dse::validate::{validate_front, validation_table_header, VALIDATE_DURATION_CYCLES};
@@ -99,13 +104,23 @@ fn main() {
         }
     );
     let t0 = Instant::now();
-    let report = run_sweep(&grid, threads);
+    let mut report = run_sweep(&grid, threads);
     let elapsed = t0.elapsed().as_secs_f64();
     println!("swept in {elapsed:.2} s\n");
+
+    // The fault scenario is part of the report (schema 2): replay every
+    // front point through a seeded merged churn + fault trace and fold
+    // the deterministic counts in before serializing.
+    report.attach_fault_scenarios();
 
     print!("{}", report.summary_table());
     println!();
     print!("{}", report.pareto_table());
+    println!();
+    println!("{}", fault_table_header());
+    for f in &report.fault {
+        println!("{f}");
+    }
 
     // The gates CI relies on: consistency, a non-empty front, and the
     // paper platform (present in both the full and reduced grids)

@@ -13,8 +13,12 @@ use aelite_dse::report::check_report_text;
 #[test]
 fn reduced_sweep_is_byte_identical_across_worker_counts() {
     let grid = DseGrid::reduced();
-    let single = run_sweep(&grid, 1).to_json();
-    let multi = run_sweep(&grid, 4).to_json();
+    let mut a = run_sweep(&grid, 1);
+    a.attach_fault_scenarios();
+    let single = a.to_json();
+    let mut b = run_sweep(&grid, 4);
+    b.attach_fault_scenarios();
+    let multi = b.to_json();
     assert!(
         single == multi,
         "reduced sweep differs between 1 and 4 workers:\n\

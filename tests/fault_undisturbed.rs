@@ -19,7 +19,7 @@
 //! thread count — the fault mask only removes candidates, it never
 //! perturbs the commit order.
 
-use aelite_alloc::{allocate, Allocation, Allocator, FaultMask};
+use aelite_alloc::{allocate, Allocation, Allocator, FaultMask, Steering};
 use aelite_noc::network::NetworkKind;
 use aelite_noc::ni::FlitDelivery;
 use aelite_noc::turbo::build_turbo;
@@ -138,6 +138,62 @@ fn bystanders_are_bitwise_undisturbed_across_inject_recover_repair() {
 }
 
 #[test]
+fn sub_threshold_glitch_leaves_every_delivery_log_bit_for_bit() {
+    // A transient glitch below the persistence threshold masks the link
+    // out of admission but displaces nothing: *every* connection is a
+    // bystander. Tables, grants and full cycle-level delivery logs must
+    // be bit-for-bit unchanged through the glitch and its expiry.
+    let spec = paper_workload(42);
+    let mut alloc = allocate(&spec).expect("paper workload allocates");
+    let (victim, loaded) = most_loaded_link(&spec, &alloc);
+    assert!(loaded > 0, "paper workload loads some link");
+
+    let everyone: Vec<ConnId> = alloc.grants().map(|g| g.conn).collect();
+    let grants: Vec<_> = everyone
+        .iter()
+        .map(|&c| alloc.grant(c).unwrap().clone())
+        .collect();
+    let before = delivery_logs(&spec, &alloc, &everyone);
+
+    let mut engine = FaultEngine::new(&spec);
+    let duration_ns = engine.persistence_threshold_ns() - 1;
+    let report = engine.link_glitch(&spec, &mut alloc, victim, duration_ns);
+    assert_eq!(report.affected, 0, "a sub-threshold glitch displaced");
+    assert_eq!(engine.stats().affected, 0);
+    assert!(engine.mask().is_down(victim), "glitch must mask admission");
+    assert!(!engine.enforced().is_down(victim));
+
+    // Structural and behavioural: nothing moved, nobody's service
+    // changed — even the grants riding the glitched link.
+    for g in &grants {
+        assert_eq!(alloc.grant(g.conn).unwrap(), g, "{} moved", g.conn);
+    }
+    let during = delivery_logs(&spec, &alloc, &everyone);
+    assert_eq!(before, during, "a sub-threshold glitch disturbed service");
+
+    // Expiry is equally invisible: only the admission mask clears.
+    engine.advance_to(&spec, &mut alloc, duration_ns + 1);
+    assert!(engine.mask().is_empty());
+    assert_eq!(engine.stats().glitch_expiries, 1);
+    for g in &grants {
+        assert_eq!(
+            alloc.grant(g.conn).unwrap(),
+            g,
+            "{} moved on expiry",
+            g.conn
+        );
+    }
+    let after = delivery_logs(&spec, &alloc, &everyone);
+    assert_eq!(before, after, "glitch expiry disturbed service");
+
+    let flits: usize = before.iter().map(Vec::len).sum();
+    assert!(
+        flits > 5_000,
+        "only {flits} flits in {HORIZON_CYCLES} cycles"
+    );
+}
+
+#[test]
 fn router_failure_leaves_unaffected_grants_bit_identical() {
     // A whole mid-mesh router goes down — every adjacent link in one
     // sweep. Grants touching none of those links are bystanders.
@@ -203,16 +259,18 @@ fn router_failure_leaves_unaffected_grants_bit_identical() {
     );
 }
 
-#[test]
-fn sharded_admission_under_fault_mask_matches_sharded_canonical_serial() {
-    // With a shard-boundary link down, the parallel sharded engine must
-    // stay bit-identical — verdicts, slot tables, owners, counters — to
-    // one plain engine applying the same bursts serially in
-    // `sharded_canonical_order`, at every thread count. The mask only
-    // removes route candidates; it never perturbs the commit order.
+// With a shard-boundary link down, the parallel sharded engine must
+// stay bit-identical — verdicts, slot tables, owners, counters — to
+// one plain engine applying the same bursts serially in
+// `sharded_canonical_order`, at every thread count. The mask only
+// removes route candidates; it never perturbs the commit order. The
+// same holds under spare-capacity steering: candidate *ordering* is
+// part of the per-shard allocators and the serial reference alike.
+fn masked_sharded_matches_serial(steering: Steering) {
     let spec = scaled_workload(4, 4, 2, 60, 7);
     let cfg = ShardConfig {
         max_paths: 2,
+        steering,
         ..ShardConfig::tiled(2, 2)
     };
     let topo = spec.topology();
@@ -250,6 +308,7 @@ fn sharded_admission_under_fault_mask_matches_sharded_canonical_serial() {
         &spec,
         Allocator {
             max_paths: cfg.max_paths,
+            steering: cfg.steering,
             ..Allocator::new()
         },
     );
@@ -309,4 +368,14 @@ fn sharded_admission_under_fault_mask_matches_sharded_canonical_serial() {
         flat.grants().count() > all.len() / 2,
         "the masked platform still admits most of the workload"
     );
+}
+
+#[test]
+fn sharded_admission_under_fault_mask_matches_sharded_canonical_serial() {
+    masked_sharded_matches_serial(Steering::ShortestFirst);
+}
+
+#[test]
+fn steered_sharded_admission_under_fault_mask_matches_serial() {
+    masked_sharded_matches_serial(Steering::SpareCapacity);
 }

@@ -1,13 +1,17 @@
 //! Property-based tests of the fault-recovery engine: arbitrary
-//! interleavings of churn (open/close/switch) and fault
-//! (link/router down/up) operations never leave a granted route over a
-//! down link, keep every slot table in lock-step with its owners, keep
-//! the displaced ledger exact (grantless connections only), and — after
-//! repairing every link and closing every survivor — leave the platform
-//! fully free.
+//! interleavings of churn (open/close/switch), fault
+//! (link/router down/up), transient glitch and clock-advance operations
+//! never leave a granted route over an *enforced* down link, keep every
+//! slot table in lock-step with its owners, keep the displaced ledger
+//! exact (grantless connections only), and — after repairing every link
+//! and closing every survivor — leave the platform fully free. Two
+//! dedicated properties pin the transient-fault contract: a
+//! sub-threshold glitch leaves every slot table bit-for-bit unchanged
+//! (before and after it expires), and a threshold-crossing glitch
+//! displaces exactly what a permanent `LinkDown` would.
 
 use aelite_alloc::Allocation;
-use aelite_online::FaultEngine;
+use aelite_online::{FaultEngine, RepairPolicy, DEFAULT_PERSISTENCE_NS};
 use aelite_spec::app::SystemSpec;
 use aelite_spec::fault::{FaultOp, ScenarioOp};
 use aelite_spec::generate::{random_workload, WorkloadParams};
@@ -39,15 +43,23 @@ fn small_spec(seed: u64) -> SystemSpec {
 
 /// The engine-wide invariants that must hold after *every* operation.
 fn assert_fault_invariants(spec: &SystemSpec, engine: &FaultEngine, alloc: &Allocation) {
-    // The core contract: no granted route traverses a down link —
-    // through serial opens, switches, re-routes and re-homing alike.
+    // The core contract: no granted route traverses an *enforced* down
+    // link — through serial opens, switches, re-routes and re-homing
+    // alike. (Grants may ride out sub-threshold glitches, which mask
+    // admission without displacing anyone: masked ⊇ enforced.)
     for g in alloc.grants() {
         for &l in &g.links {
             assert!(
-                !engine.mask().is_down(l),
+                !engine.enforced().is_down(l),
                 "{} granted over down link {l}",
                 g.conn
             );
+        }
+    }
+    for li in 0..spec.topology().link_count() {
+        let l = LinkId::new(li as u32);
+        if engine.enforced().is_down(l) {
+            assert!(engine.mask().is_down(l), "{l} enforced but not masked");
         }
     }
     // The displaced ledger holds only grantless connections, each once.
@@ -81,8 +93,8 @@ fn assert_fault_invariants(spec: &SystemSpec, engine: &FaultEngine, alloc: &Allo
 }
 
 /// One scripted operation, decoded from two proptest draws: mostly
-/// churn (as `tests/proptest_churn.rs`), with fault and repair events
-/// interleaved.
+/// churn (as `tests/proptest_churn.rs`), with fault, repair, transient
+/// glitch and clock-advance events interleaved.
 fn apply_step(
     spec: &SystemSpec,
     engine: &mut FaultEngine,
@@ -91,7 +103,7 @@ fn apply_step(
     pick: u16,
 ) {
     let topo = spec.topology();
-    match kind % 12 {
+    match kind % 14 {
         // Toggle a pseudo-random connection (the common single-op churn).
         0..=6 => {
             let conns = spec.connections();
@@ -129,38 +141,73 @@ fn apply_step(
         // Fault and repair events on pseudo-random links and routers.
         8 | 9 => {
             let link = LinkId::new(u32::from(pick) % topo.link_count() as u32);
-            let op = if kind % 12 == 8 {
+            let op = if kind % 14 == 8 {
                 FaultOp::LinkDown(link)
             } else {
                 FaultOp::LinkUp(link)
             };
             engine.apply(spec, alloc, &ScenarioOp::Fault(op));
         }
-        _ => {
+        10 | 11 => {
             let router = RouterId::new(u32::from(pick) % topo.router_count() as u32);
-            let op = if kind % 12 == 10 {
+            let op = if kind % 14 == 10 {
                 FaultOp::RouterDown(router)
             } else {
                 FaultOp::RouterUp(router)
             };
             engine.apply(spec, alloc, &ScenarioOp::Fault(op));
         }
+        // A transient glitch whose duration straddles the persistence
+        // threshold (sub-threshold glitches mask admission only;
+        // escalated ones displace like a LinkDown and self-repair).
+        12 => {
+            let link = LinkId::new(u32::from(pick) % topo.link_count() as u32);
+            let duration_ns = (u64::from(pick) * 37) % (2 * DEFAULT_PERSISTENCE_NS) + 1;
+            engine.apply(
+                spec,
+                alloc,
+                &ScenarioOp::Fault(FaultOp::LinkGlitch { link, duration_ns }),
+            );
+        }
+        // Advance the scenario clock: pending glitches expire (and any
+        // queued deferred repairs drain first).
+        _ => {
+            let t = engine.now_ns() + 1 + u64::from(pick) * 50;
+            engine.advance_to(spec, alloc, t);
+        }
     }
+}
+
+/// Semantic snapshot of every slot table: `(is_free, owner)` per slot.
+/// (The table types have no `PartialEq`; the semantic content is what
+/// the bit-for-bit contracts are about.)
+fn table_snapshot(spec: &SystemSpec, alloc: &Allocation) -> Vec<Vec<(bool, Option<ConnId>)>> {
+    (0..spec.topology().link_count())
+        .map(|li| {
+            let t = alloc.link_table(LinkId::new(li as u32));
+            (0..t.size()).map(|s| (t.is_free(s), t.owner(s))).collect()
+        })
+        .collect()
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The fault invariants hold after *every* operation of an
-    /// arbitrary churn/fault interleaving.
+    /// arbitrary churn/fault/glitch interleaving, under both repair
+    /// policies.
     #[test]
     fn interleaved_faults_never_grant_over_a_down_link(
         seed in 0u64..4,
-        script in proptest::collection::vec((0u8..12, 0u16..1024), 1..40),
+        deferred in 0u8..2,
+        script in proptest::collection::vec((0u8..14, 0u16..1024), 1..40),
     ) {
         let spec = small_spec(seed);
         let mut alloc = Allocation::empty_for(&spec);
         let mut engine = FaultEngine::new(&spec);
+        if deferred == 1 {
+            engine.set_repair_policy(RepairPolicy::Deferred);
+        }
         for &(kind, pick) in &script {
             apply_step(&spec, &mut engine, &mut alloc, kind, pick);
             assert_fault_invariants(&spec, &engine, &alloc);
@@ -173,19 +220,26 @@ proptest! {
     #[test]
     fn repairing_and_draining_frees_every_slot(
         seed in 0u64..4,
-        script in proptest::collection::vec((0u8..12, 0u16..1024), 1..30),
+        deferred in 0u8..2,
+        script in proptest::collection::vec((0u8..14, 0u16..1024), 1..30),
     ) {
         let spec = small_spec(seed);
         let mut alloc = Allocation::empty_for(&spec);
         let mut engine = FaultEngine::new(&spec);
+        if deferred == 1 {
+            engine.set_repair_policy(RepairPolicy::Deferred);
+        }
         for &(kind, pick) in &script {
             apply_step(&spec, &mut engine, &mut alloc, kind, pick);
         }
 
-        // Repair the world: every down link comes back up.
+        // Repair the world: every down link comes back up (cancelling
+        // any pending glitch on it), and queued deferred re-homes drain
+        // as one batched round.
         for li in 0..spec.topology().link_count() {
             engine.link_up(&spec, &mut alloc, LinkId::new(li as u32));
         }
+        engine.drain_repairs(&spec, &mut alloc);
         prop_assert!(engine.mask().is_empty());
 
         // Drain: close every grant; a close of a displaced connection
@@ -204,5 +258,87 @@ proptest! {
                 prop_assert!(table.is_free(s) && table.owner(s).is_none());
             }
         }
+    }
+
+    /// A sub-threshold glitch is invisible to the slot tables: whatever
+    /// state an arbitrary interleaving left behind, the glitch (and its
+    /// later expiry) changes not one slot, displaces nobody, and leaves
+    /// the displaced ledger untouched.
+    #[test]
+    fn sub_threshold_glitch_leaves_every_table_bit_for_bit(
+        seed in 0u64..4,
+        script in proptest::collection::vec((0u8..14, 0u16..1024), 1..30),
+        pick in 0u16..1024,
+    ) {
+        let spec = small_spec(seed);
+        let mut alloc = Allocation::empty_for(&spec);
+        let mut engine = FaultEngine::new(&spec);
+        for &(kind, p) in &script {
+            apply_step(&spec, &mut engine, &mut alloc, kind, p);
+        }
+        // Settle every pending glitch so the snapshot is quiescent.
+        let settle = engine.now_ns() + 10 * DEFAULT_PERSISTENCE_NS;
+        engine.advance_to(&spec, &mut alloc, settle);
+
+        let tables = table_snapshot(&spec, &alloc);
+        let ledger = engine.displaced().to_vec();
+        let affected = engine.stats().affected;
+
+        let link = LinkId::new(u32::from(pick) % spec.topology().link_count() as u32);
+        let duration_ns = 1 + u64::from(pick) % (DEFAULT_PERSISTENCE_NS - 1);
+        engine.link_glitch(&spec, &mut alloc, link, duration_ns);
+        prop_assert_eq!(&table_snapshot(&spec, &alloc), &tables, "glitch moved a slot");
+        prop_assert_eq!(engine.displaced(), &ledger[..], "glitch touched the ledger");
+        prop_assert_eq!(engine.stats().affected, affected, "glitch displaced a grant");
+
+        engine.advance_to(&spec, &mut alloc, settle + 2 * DEFAULT_PERSISTENCE_NS);
+        prop_assert_eq!(&table_snapshot(&spec, &alloc), &tables, "expiry moved a slot");
+        prop_assert_eq!(engine.displaced(), &ledger[..]);
+        prop_assert!(!engine.mask().is_down(link) || engine.enforced().is_down(link));
+    }
+
+    /// A threshold-crossing glitch displaces exactly what a permanent
+    /// `LinkDown` would: same survivor grants, same ledger, same tables
+    /// — the only difference is that the glitch self-repairs when the
+    /// clock passes its expiry.
+    #[test]
+    fn escalated_glitch_behaves_like_a_permanent_link_down(
+        seed in 0u64..4,
+        script in proptest::collection::vec((0u8..14, 0u16..1024), 1..30),
+        pick in 0u16..1024,
+    ) {
+        let spec = small_spec(seed);
+        let mut alloc_a = Allocation::empty_for(&spec);
+        let mut engine_a = FaultEngine::new(&spec);
+        let mut alloc_b = Allocation::empty_for(&spec);
+        let mut engine_b = FaultEngine::new(&spec);
+        for &(kind, p) in &script {
+            apply_step(&spec, &mut engine_a, &mut alloc_a, kind, p);
+            apply_step(&spec, &mut engine_b, &mut alloc_b, kind, p);
+        }
+        let settle = engine_a.now_ns().max(engine_b.now_ns()) + 10 * DEFAULT_PERSISTENCE_NS;
+        engine_a.advance_to(&spec, &mut alloc_a, settle);
+        engine_b.advance_to(&spec, &mut alloc_b, settle);
+
+        let link = LinkId::new(u32::from(pick) % spec.topology().link_count() as u32);
+        // A glitch on an already-failed link is a no-op in both engines;
+        // the self-repair contrast below only applies to a fresh glitch.
+        let was_down = engine_a.enforced().is_down(link);
+        let duration_ns = DEFAULT_PERSISTENCE_NS + u64::from(pick);
+        engine_a.link_glitch(&spec, &mut alloc_a, link, duration_ns);
+        engine_b.link_down(&spec, &mut alloc_b, link);
+
+        prop_assert_eq!(table_snapshot(&spec, &alloc_a), table_snapshot(&spec, &alloc_b));
+        prop_assert_eq!(engine_a.displaced(), engine_b.displaced());
+        prop_assert_eq!(engine_a.stats().affected, engine_b.stats().affected);
+        prop_assert_eq!(engine_a.stats().dropped, engine_b.stats().dropped);
+        prop_assert!(engine_a.enforced().is_down(link) == engine_b.enforced().is_down(link));
+
+        // Only the glitch self-repairs.
+        engine_a.advance_to(&spec, &mut alloc_a, settle + duration_ns + 1);
+        if !was_down {
+            prop_assert!(!engine_a.mask().is_down(link));
+        }
+        prop_assert!(engine_b.mask().is_down(link));
     }
 }
